@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures, prints the
+rows/series the figure plots, and archives the text under
+``benchmarks/results/``.  Runs are cached on disk (``.simcache``), so
+re-running the harness is cheap.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def archive(results_dir: Path, name: str, text: str) -> None:
+    """Print and persist one experiment's rendered output."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

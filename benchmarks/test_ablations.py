@@ -1,0 +1,58 @@
+"""Ablations called out in the paper's text.
+
+* Section 5.6: UIT size — 256 performs well; smaller tables
+  misclassify Urgent instructions and lose performance.
+* Appendix A: oracle vs two-level hit/miss prediction — "less than 2
+  percentage points" difference (we allow a little more slack on our
+  short slices).
+* Section 4.1: the MLP-sensitivity rule must classify our suites the
+  way they were designed.
+"""
+
+import pytest
+
+from benchmarks.conftest import archive
+from repro.harness.experiments import (predictor_ablation,
+                                       render_predictor_ablation,
+                                       render_sensitivity,
+                                       render_uit_ablation,
+                                       sensitivity_report, uit_ablation)
+from repro.workloads import MLP_INSENSITIVE, MLP_SENSITIVE
+
+
+def test_uit_ablation(benchmark, results_dir):
+    result = benchmark.pedantic(uit_ablation, rounds=1, iterations=1)
+    archive(results_dir, "uit_ablation", render_uit_ablation(result))
+    series = result["by_category"][MLP_SENSITIVE]
+    sizes = result["sizes"]           # [None, 512, 256, 128, 64]
+    at_unlimited = series[sizes.index(None)]
+    at_256 = series[sizes.index(256)]
+    at_64 = series[sizes.index(64)]
+    # 256 entries perform close to unlimited; 64 entries lose ground
+    assert at_256 > at_unlimited - 6.0
+    assert at_64 <= at_256 + 1.0
+
+
+def test_predictor_ablation(benchmark, results_dir):
+    result = benchmark.pedantic(predictor_ablation, rounds=1, iterations=1)
+    archive(results_dir, "predictor_ablation",
+            render_predictor_ablation(result))
+    for category in (MLP_SENSITIVE, MLP_INSENSITIVE):
+        delta = abs(result[category]["oracle"]
+                    - result[category]["twolevel"])
+        assert delta < 6.0, (category, result[category])
+
+
+def test_sensitivity_classification(benchmark, results_dir):
+    result = benchmark.pedantic(sensitivity_report, rounds=1, iterations=1)
+    archive(results_dir, "sensitivity_report", render_sensitivity(result))
+    for row in result["rows"]:
+        if row["designed_as"] == MLP_INSENSITIVE:
+            assert not row["classified_sensitive"], row
+    sensitive_rows = [r for r in result["rows"]
+                      if r["designed_as"] == MLP_SENSITIVE]
+    classified = sum(r["classified_sensitive"] for r in sensitive_rows)
+    # the gather-style kernels must classify sensitive; the pointer
+    # chaser may not (its MLP is latency-bound, like the paper's
+    # pointer-chasing discussion)
+    assert classified >= 3

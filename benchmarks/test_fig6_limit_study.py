@@ -1,0 +1,87 @@
+"""Figure 6: the Section 4 limit study (IQ / RF / LQ / SQ sweeps).
+
+Paper expectations encoded below:
+
+* IQ row — shrinking the IQ hurts the sensitive suite without LTP;
+  with LTP (NR+NU) a 32-entry IQ is close to the 64-entry baseline.
+* RF row — LTP at 96 registers is close to the 128-register baseline;
+  without LTP, 96 registers lose performance on the sensitive suite.
+* LQ/SQ rows — LTP parks too few loads/stores to matter much (milc is
+  the exception); shrinking the LQ below 32 hurts everyone.
+* The insensitive suite barely reacts to any of it.
+"""
+
+import pytest
+
+from benchmarks.conftest import archive
+from repro.harness.experiments import (MILC, fig6_limit_study, render_fig6)
+from repro.workloads import MLP_INSENSITIVE, MLP_SENSITIVE
+
+
+@pytest.fixture(scope="module")
+def fig6(results_dir):
+    result = fig6_limit_study()
+    archive(results_dir, "fig6_limit_study", render_fig6(result))
+    return result
+
+
+def test_fig6_runs(benchmark, fig6):
+    benchmark.pedantic(lambda: fig6, rounds=1, iterations=1)
+    assert set(fig6) == {"iq", "rf", "lq", "sq"}
+
+
+def test_fig6_iq_row_sensitive(benchmark, fig6):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    data = fig6["iq"]["groups"][MLP_SENSITIVE]
+    sizes = fig6["iq"]["sizes"]       # [None, 128, 64, 32, 16]
+    at32 = sizes.index(32)
+    at16 = sizes.index(16)
+    # no LTP: IQ 32 loses performance vs the IQ 64 baseline
+    assert data["no-ltp"][at32] < -5.0
+    assert data["no-ltp"][at16] < data["no-ltp"][at32]
+    # LTP (NR+NU) at IQ 32 stays within a few points of baseline
+    assert data["ltp-nr+nu"][at32] > -5.0
+    # and clearly beats no-LTP at the same size
+    assert data["ltp-nr+nu"][at32] > data["no-ltp"][at32] + 5.0
+    # NU-only captures most of the NR+NU benefit (Section 4.3)
+    assert data["ltp-nu"][at32] > data["no-ltp"][at32] + 5.0
+
+
+def test_fig6_rf_row_sensitive(benchmark, fig6):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    data = fig6["rf"]["groups"][MLP_SENSITIVE]
+    sizes = fig6["rf"]["sizes"]       # [None, 128, 96, 64, 32]
+    at96 = sizes.index(96)
+    at64 = sizes.index(64)
+    assert data["no-ltp"][at96] < -2.0
+    assert data["ltp-nr+nu"][at96] > -5.0
+    assert data["ltp-nr+nu"][at96] > data["no-ltp"][at96]
+    # LTP roughly halves the loss at 64 registers (paper text)
+    assert data["ltp-nr+nu"][at64] > data["no-ltp"][at64]
+
+
+def test_fig6_insensitive_flat(benchmark, fig6):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for resource in ("iq", "rf"):
+        data = fig6[resource]["groups"][MLP_INSENSITIVE]
+        sizes = fig6[resource]["sizes"]
+        # at the second-largest finite setting the insensitive suite
+        # moves by only a few percent
+        mid = 2
+        assert abs(data["no-ltp"][mid]) < 8.0, (resource, data["no-ltp"])
+
+
+def test_fig6_lq_sq_small_sizes_hurt(benchmark, fig6):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for resource, tiny_index in (("lq", 4), ("sq", 4)):
+        data = fig6[resource]["groups"][MLP_SENSITIVE]
+        assert data["no-ltp"][tiny_index] < -5.0, resource
+
+
+def test_fig6_milc_parks_memory_ops(benchmark, fig6):
+    """milc is the paper's exception: LTP helps it at small LQ/SQ."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    data = fig6["lq"]["groups"][MILC]
+    sizes = fig6["lq"]["sizes"]
+    at16 = sizes.index(16)
+    assert data["ltp-nr+nu"][at16] >= data["no-ltp"][at16]

@@ -1,0 +1,58 @@
+"""Figure 7: LTP utilization by resource type and enabled time.
+
+Paper expectations:
+
+* The sensitive suite parks tens of instructions holding tens of
+  would-be registers; parked loads/stores are few (most are Urgent) —
+  milc is the exception with several loads and stores parked.
+* Non-Urgent parking dominates Non-Ready parking.
+* The DRAM-timer monitor keeps LTP enabled most of the time on the
+  sensitive suite and a small fraction on the insensitive suite.
+"""
+
+import pytest
+
+from benchmarks.conftest import archive
+from repro.harness.experiments import MILC, fig7_utilization, render_fig7
+from repro.workloads import MLP_INSENSITIVE, MLP_SENSITIVE
+
+
+@pytest.fixture(scope="module")
+def fig7(results_dir):
+    result = fig7_utilization()
+    archive(results_dir, "fig7_utilization", render_fig7(result))
+    return result
+
+
+def test_fig7_runs(benchmark, fig7):
+    benchmark.pedantic(lambda: fig7, rounds=1, iterations=1)
+    assert set(fig7) == {"nr", "nu", "nr+nu"}
+
+
+def test_fig7_sensitive_parks_many(benchmark, fig7):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sensitive = fig7["nr+nu"][MLP_SENSITIVE]
+    assert sensitive["insts"] > 10
+    assert sensitive["regs"] > 5
+
+
+def test_fig7_nu_dominates_nr(benchmark, fig7):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sensitive_nu = fig7["nu"][MLP_SENSITIVE]
+    sensitive_nr = fig7["nr"][MLP_SENSITIVE]
+    assert sensitive_nu["insts"] > sensitive_nr["insts"]
+
+
+def test_fig7_milc_parks_loads_and_stores(benchmark, fig7):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    milc = fig7["nr+nu"][MILC]
+    assert milc["loads"] > 1.0
+    assert milc["stores"] > 1.0
+
+
+def test_fig7_monitor_tracks_suites(benchmark, fig7):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sensitive = fig7["nr+nu"][MLP_SENSITIVE]
+    insensitive = fig7["nr+nu"][MLP_INSENSITIVE]
+    assert sensitive["enabled_pct"] > 60
+    assert insensitive["enabled_pct"] < sensitive["enabled_pct"]

@@ -1,0 +1,34 @@
+"""The paper's headline claim (Section 5.7 / conclusions).
+
+IQ 64->32 and RF 128->96 with the proposed LTP: performance within a
+few points of the baseline on MLP-sensitive code, with IQ/RF ED2P cut
+by tens of percent; the same shrink *without* LTP loses double-digit
+performance.
+"""
+
+import pytest
+
+from benchmarks.conftest import archive
+from repro.harness.experiments import headline_summary, render_headline
+from repro.workloads import MLP_INSENSITIVE, MLP_SENSITIVE
+
+
+def test_headline(benchmark, results_dir):
+    result = benchmark.pedantic(headline_summary, rounds=1, iterations=1)
+    archive(results_dir, "headline", render_headline(result))
+
+    sensitive = result[MLP_SENSITIVE]
+    insensitive = result[MLP_INSENSITIVE]
+
+    # without LTP the shrunken core loses double digits on sensitive code
+    assert sensitive["no_ltp"]["perf_pct"] < -8.0
+    # with LTP it is within a few points of the baseline (or better)
+    assert sensitive["proposed"]["perf_pct"] > -5.0
+    # and the window-structure ED2P drops by tens of percent
+    assert sensitive["proposed"]["ed2p_pct"] < -25.0
+    # insensitive code is barely affected either way
+    assert insensitive["proposed"]["perf_pct"] > -6.0
+    # the monitor keeps LTP mostly on for sensitive code, less for
+    # insensitive
+    assert (sensitive["proposed"]["enabled_pct"]
+            > insensitive["proposed"]["enabled_pct"])

@@ -1,0 +1,13 @@
+"""Table 1: the baseline processor configuration."""
+
+from benchmarks.conftest import archive
+from repro.harness.experiments import render_table1, table1_config
+
+
+def test_table1_config(benchmark, results_dir):
+    result = benchmark.pedantic(table1_config, rounds=1, iterations=1)
+    text = render_table1(result)
+    archive(results_dir, "table1_config", text)
+    assert "3.4 GHz" in text
+    assert "256 / 64 / 64 / 32" in text
+    assert "128 / 128" in text

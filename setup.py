@@ -1,0 +1,19 @@
+"""Legacy setup shim.
+
+The execution environment is offline with an old setuptools and no
+``wheel`` package, so ``pip install -e .`` must take the legacy
+``setup.py develop`` path; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Long Term Parking (LTP): criticality-aware resource "
+                 "allocation in OOO processors — MICRO 2015 reproduction"),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -1,0 +1,17 @@
+"""Analysis utilities: MLP-sensitivity rule and aggregation helpers."""
+
+from repro.analysis.aggregate import (arithmetic_mean, average_dicts,
+                                      geometric_mean,
+                                      mean_relative_performance)
+from repro.analysis.mlp_class import (SensitivityInputs, SensitivityVerdict,
+                                      classify)
+
+__all__ = [
+    "SensitivityInputs",
+    "SensitivityVerdict",
+    "arithmetic_mean",
+    "average_dicts",
+    "classify",
+    "geometric_mean",
+    "mean_relative_performance",
+]

@@ -1,0 +1,47 @@
+"""Aggregation helpers for experiment results."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def mean_relative_performance(test_cycles: Sequence[int],
+                              base_cycles: Sequence[int]) -> float:
+    """Geomean speedup over paired runs, as a percent delta vs. base.
+
+    This is how the paper's per-suite averages are computed: each
+    simulation point is normalised to its own baseline first.
+    """
+    if len(test_cycles) != len(base_cycles):
+        raise ValueError("paired sequences must have equal length")
+    ratios = [b / t for t, b in zip(test_cycles, base_cycles)]
+    return (geometric_mean(ratios) - 1.0) * 100.0
+
+
+def average_dicts(dicts: Iterable[Dict[str, float]]) -> Dict[str, float]:
+    """Key-wise arithmetic mean over dictionaries with identical keys."""
+    dicts = list(dicts)
+    if not dicts:
+        raise ValueError("no dicts to average")
+    keys = dicts[0].keys()
+    for d in dicts:
+        if d.keys() != keys:
+            raise ValueError("dict keys differ")
+    return {k: arithmetic_mean([d[k] for d in dicts]) for k in keys}

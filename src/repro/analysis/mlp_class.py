@@ -1,0 +1,54 @@
+"""MLP-sensitivity classification (the Section 4.1 rule).
+
+A simulation point is MLP-sensitive when, comparing an IQ-32 core to an
+IQ-256 core (prefetcher on):
+
+* its average cache (load) latency exceeds the L2 latency — it actually
+  touches the L3/DRAM,
+* it speeds up by more than 5% with the larger IQ, and
+* its outstanding memory requests grow by more than 10%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SensitivityInputs:
+    """The measurements the rule consumes, for one simulation point."""
+
+    cycles_small_iq: int
+    cycles_large_iq: int
+    outstanding_small_iq: float
+    outstanding_large_iq: float
+    avg_load_latency: float
+    l2_latency: int = 12
+
+
+@dataclass
+class SensitivityVerdict:
+    sensitive: bool
+    speedup_pct: float
+    outstanding_growth_pct: float
+    latency_beyond_l2: bool
+
+
+def classify(inputs: SensitivityInputs,
+             speedup_threshold: float = 5.0,
+             outstanding_threshold: float = 10.0) -> SensitivityVerdict:
+    """Apply the paper's rule; thresholds in percent."""
+    if inputs.cycles_large_iq <= 0 or inputs.cycles_small_iq <= 0:
+        raise ValueError("cycle counts must be positive")
+    speedup = (inputs.cycles_small_iq / inputs.cycles_large_iq - 1.0) * 100.0
+    if inputs.outstanding_small_iq > 0:
+        growth = (inputs.outstanding_large_iq
+                  / inputs.outstanding_small_iq - 1.0) * 100.0
+    else:
+        growth = 100.0 if inputs.outstanding_large_iq > 0 else 0.0
+    beyond_l2 = inputs.avg_load_latency > inputs.l2_latency
+    sensitive = (beyond_l2 and speedup > speedup_threshold
+                 and growth > outstanding_threshold)
+    return SensitivityVerdict(sensitive=sensitive, speedup_pct=speedup,
+                              outstanding_growth_pct=growth,
+                              latency_beyond_l2=beyond_l2)

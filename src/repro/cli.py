@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — available workloads and their categories.
+* ``run WORKLOAD`` — simulate one workload under a chosen core/LTP
+  configuration and print the key metrics.
+* ``classify WORKLOAD`` — print the oracle classification of each
+  static instruction (the Figure 2 view, for any kernel).
+* ``experiment NAME`` — regenerate one of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.params import baseline_params, ltp_params
+from repro.harness import experiments
+from repro.harness.config import SimConfig
+from repro.harness.report import render_table
+from repro.harness.runner import run_sim
+from repro.ltp.config import (limit_ltp, no_ltp, proposed_ltp,
+                              wib_ltp)
+from repro.ltp.oracle import annotate_trace
+from repro.workloads import full_suite, get_workload
+
+LTP_CHOICES = {
+    "none": no_ltp,
+    "proposed": proposed_ltp,
+    "limit-nu": lambda: limit_ltp("nu"),
+    "limit-nr": lambda: limit_ltp("nr"),
+    "limit-nrnu": lambda: limit_ltp("nr+nu"),
+    "wib": wib_ltp,
+}
+
+EXPERIMENTS = {
+    "table1": (experiments.table1_config, experiments.render_table1),
+    "fig1": (experiments.fig1_motivation, experiments.render_fig1),
+    "fig2": (experiments.fig2_classification, experiments.render_fig2),
+    "fig5": (experiments.fig5_lifetimes, experiments.render_fig5),
+    "fig6": (experiments.fig6_limit_study, experiments.render_fig6),
+    "fig7": (experiments.fig7_utilization, experiments.render_fig7),
+    "fig10": (experiments.fig10_impl_tradeoffs, experiments.render_fig10),
+    "fig11": (experiments.fig11_tickets, experiments.render_fig11),
+    "uit": (experiments.uit_ablation, experiments.render_uit_ablation),
+    "predictor": (experiments.predictor_ablation,
+                  experiments.render_predictor_ablation),
+    "sensitivity": (experiments.sensitivity_report,
+                    experiments.render_sensitivity),
+    "alternatives": (experiments.alternatives_comparison,
+                     experiments.render_alternatives),
+    "wakeup": (experiments.wakeup_policy_ablation,
+               experiments.render_wakeup_policy),
+    "headline": (experiments.headline_summary,
+                 experiments.render_headline),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Long Term Parking (MICRO 2015) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads")
+
+    run_p = sub.add_parser("run", help="simulate one workload")
+    run_p.add_argument("workload")
+    run_p.add_argument("--core", choices=["baseline", "small"],
+                       default="baseline",
+                       help="baseline = IQ64/RF128; small = IQ32/RF96")
+    run_p.add_argument("--ltp", choices=sorted(LTP_CHOICES),
+                       default="none")
+    run_p.add_argument("--iq", type=int, default=None,
+                       help="override IQ size")
+    run_p.add_argument("--rf", type=int, default=None,
+                       help="override available registers (both classes)")
+    run_p.add_argument("--warmup", type=int, default=None)
+    run_p.add_argument("--measure", type=int, default=None)
+    run_p.add_argument("--no-cache", action="store_true")
+
+    cls_p = sub.add_parser("classify",
+                           help="oracle-classify a workload's kernel")
+    cls_p.add_argument("workload")
+    cls_p.add_argument("--insts", type=int, default=4000)
+
+    exp_p = sub.add_parser("experiment",
+                           help="regenerate a paper table/figure")
+    exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
+    return parser
+
+
+def cmd_list(out) -> int:
+    rows = [[w.name, w.category, w.alias or "-", w.description]
+            for w in full_suite()]
+    print(render_table(["workload", "category", "paper checkpoint",
+                        "description"], rows,
+                       title="Available workloads"), file=out)
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    core = baseline_params() if args.core == "baseline" else ltp_params()
+    if args.iq is not None:
+        core = core.but(iq_size=args.iq)
+    if args.rf is not None:
+        core = core.but(int_regs=args.rf, fp_regs=args.rf)
+    ltp = LTP_CHOICES[args.ltp]()
+    config = SimConfig(workload=args.workload, core=core, ltp=ltp)
+    if args.warmup is not None:
+        config.warmup = args.warmup
+    if args.measure is not None:
+        config.measure = args.measure
+    result = run_sim(config, use_cache=not args.no_cache)
+    rows = [
+        ["CPI", result["cpi"]],
+        ["IPC", result["ipc"]],
+        ["cycles", result["cycles"]],
+        ["committed", result["committed"]],
+        ["avg outstanding requests", result["avg_outstanding"]],
+        ["avg load latency", result["avg_load_latency"]],
+        ["branch accuracy", result["branch_accuracy"]],
+        ["instructions parked", result["ltp_parked"]],
+        ["avg insts in LTP", result["avg_ltp"]],
+        ["LTP enabled fraction", result["ltp_enabled_fraction"]],
+    ]
+    print(render_table(["metric", "value"], rows, precision=3,
+                       title=f"{args.workload} — core={args.core} "
+                             f"ltp={args.ltp}"), file=out)
+    return 0
+
+
+def cmd_classify(args, out) -> int:
+    workload = get_workload(args.workload)
+    trace = workload.trace(args.insts)
+    oracle = annotate_trace(trace, warm_regions=workload.warm_regions)
+    per_pc = {}
+    for i, dyn in enumerate(trace):
+        entry = per_pc.setdefault(dyn.pc, [0, 0, 0])
+        entry[0] += 1
+        entry[1] += oracle.urgent[i]
+        entry[2] += oracle.non_ready[i]
+    rows = []
+    for pc in sorted(per_pc):
+        count, urgent, non_ready = per_pc[pc]
+        label = (("U" if urgent / count > 0.5 else "NU") + "+"
+                 + ("NR" if non_ready / count > 0.5 else "R"))
+        rows.append([pc, workload.program[pc].render(), label, count])
+    print(render_table(["pc", "instruction", "class", "executions"],
+                       rows, title=f"Classification of {workload.name}"),
+          file=out)
+    return 0
+
+
+def cmd_experiment(args, out) -> int:
+    runner, renderer = EXPERIMENTS[args.name]
+    print(renderer(runner()), file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list(out)
+    if args.command == "run":
+        return cmd_run(args, out)
+    if args.command == "classify":
+        return cmd_classify(args, out)
+    if args.command == "experiment":
+        return cmd_experiment(args, out)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

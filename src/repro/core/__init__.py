@@ -1,0 +1,36 @@
+"""The out-of-order core substrate: a trace-driven cycle model."""
+
+from repro.core.branch import GsharePredictor
+from repro.core.inflight import InFlightInst
+from repro.core.iq import IssueQueue
+from repro.core.lsq import LoadStoreQueues
+from repro.core.memdep import MemDepPredictor
+from repro.core.params import (CoreParams, UNLIMITED, baseline_params, cap,
+                               ltp_params)
+from repro.core.pipeline import (CODE_BASE, Pipeline, SimulationDeadlock,
+                                 simulate)
+from repro.core.regfile import RegisterFile, RegisterFileError
+from repro.core.rob import ROB
+from repro.core.stats import Occupancy, SimStats
+
+__all__ = [
+    "CODE_BASE",
+    "CoreParams",
+    "GsharePredictor",
+    "InFlightInst",
+    "IssueQueue",
+    "LoadStoreQueues",
+    "MemDepPredictor",
+    "Occupancy",
+    "Pipeline",
+    "RegisterFile",
+    "RegisterFileError",
+    "ROB",
+    "SimStats",
+    "SimulationDeadlock",
+    "UNLIMITED",
+    "baseline_params",
+    "cap",
+    "ltp_params",
+    "simulate",
+]

@@ -1,0 +1,80 @@
+"""Per-dynamic-instruction bookkeeping record used by the pipeline.
+
+One :class:`InFlightInst` exists per dynamic instruction from rename to
+commit.  Dataflow is tracked by producer/consumer links between records
+(the rename result), physical registers purely as occupancy, so the
+record carries readiness counters rather than register indices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.isa.trace import DynInst
+
+# lifecycle states are implicit in flags:
+#   parked      -> waiting in LTP (no IQ/RF yet)
+#   in_iq       -> dispatched, waiting/ready in the IQ
+#   issued      -> selected for execution, completion event pending
+#   done        -> executed; eligible for commit when at ROB head
+
+
+class InFlightInst:
+    """Timing-model state for one dynamic instruction."""
+
+    __slots__ = (
+        "dyn", "seq",
+        "waiting_on", "consumers",
+        "in_iq", "issued", "done",
+        "completion_cycle",
+        "parked", "urgent", "non_ready", "predicted_ll", "actual_ll",
+        "ll_listed",
+        "tickets", "own_ticket",
+        "rf_class", "rf_allocated", "lq_allocated", "sq_allocated",
+        "rename_cycle", "release_cycle", "issue_cycle",
+        "mem_level", "mispredicted", "producer_records",
+        "forced_release", "park_reason",
+    )
+
+    def __init__(self, dyn: DynInst) -> None:
+        self.dyn = dyn
+        self.seq = dyn.seq
+        self.waiting_on = 0
+        self.consumers: List["InFlightInst"] = []
+        self.in_iq = False
+        self.issued = False
+        self.done = False
+        self.completion_cycle: Optional[int] = None
+        self.parked = False
+        self.urgent = False
+        self.non_ready = False
+        self.predicted_ll = False
+        self.actual_ll = False
+        self.ll_listed = False
+        self.tickets: Set[int] = set()
+        self.own_ticket: Optional[int] = None
+        self.rf_class: Optional[str] = None
+        self.rf_allocated = False
+        self.lq_allocated = False
+        self.sq_allocated = False
+        self.rename_cycle: Optional[int] = None
+        self.release_cycle: Optional[int] = None
+        self.issue_cycle: Optional[int] = None
+        self.mem_level: Optional[str] = None
+        self.mispredicted = False
+        self.producer_records: Tuple[Optional["InFlightInst"], ...] = ()
+        self.forced_release = False
+        self.park_reason: Optional[str] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        flags = []
+        if self.parked:
+            flags.append("parked")
+        if self.in_iq:
+            flags.append("iq")
+        if self.issued:
+            flags.append("issued")
+        if self.done:
+            flags.append("done")
+        state = ",".join(flags) or "renamed"
+        return f"<InFlight #{self.seq} {self.dyn.inst.opcode} [{state}]>"

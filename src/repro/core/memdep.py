@@ -1,0 +1,44 @@
+"""Memory-dependence predictor (store-set flavoured).
+
+Loads that have previously violated memory ordering against a store are
+made to wait for that store's address instead of speculating past it.
+This is the unit Section 5.3 extends: when a violation is detected, LTP
+additionally classifies the store's PC as Urgent, and a load predicted
+to depend on a *parked* store inherits the parked bit.
+
+The predictor maps load PCs to the set of store PCs they must respect.
+Sets are bounded per load to keep lookups cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+
+class MemDepPredictor:
+    """Per-load-PC sets of conflicting store PCs, trained on violations."""
+
+    def __init__(self, max_set_size: int = 4, table_size: int = 512) -> None:
+        self.max_set_size = max_set_size
+        self.table_size = table_size
+        self._sets: Dict[int, Set[int]] = {}
+        self.trainings = 0
+
+    def _key(self, load_pc: int) -> int:
+        return load_pc % self.table_size
+
+    def train_violation(self, load_pc: int, store_pc: int) -> None:
+        """Record that *load_pc* violated ordering against *store_pc*."""
+        self.trainings += 1
+        entry = self._sets.setdefault(self._key(load_pc), set())
+        if len(entry) >= self.max_set_size:
+            entry.pop()
+        entry.add(store_pc)
+
+    def must_wait(self, load_pc: int, store_pc: int) -> bool:
+        """Should the load wait for this unresolved older store?"""
+        entry = self._sets.get(self._key(load_pc))
+        return entry is not None and store_pc in entry
+
+    def predicted_stores(self, load_pc: int) -> Set[int]:
+        return set(self._sets.get(self._key(load_pc), ()))

@@ -1,0 +1,774 @@
+"""Trace-driven cycle model of the Table 1 out-of-order core.
+
+The pipeline consumes a dynamic trace (true dependences, addresses and
+branch outcomes from the functional executor) and models, cycle by
+cycle:
+
+* an 8-wide front end with a fixed decode depth, gshare direction
+  prediction and L1I fetch stalls; mispredicts block fetch until the
+  branch executes, plus a refill penalty (the standard trace-driven
+  approximation — no wrong-path instructions exist in a trace),
+* rename with in-order allocation of ROB / IQ / physical registers /
+  LQ / SQ — or LTP parking, which defers the IQ and register (and
+  optionally LQ/SQ) allocations exactly as Figure 5 describes,
+* oldest-first issue of up to 6 instructions per cycle over FU pools,
+  two-phase loads (AGU + cache access) with store-to-load forwarding,
+  memory-dependence prediction and violation penalties,
+* event-driven writeback/wakeup, and
+* 8-wide in-order commit, which frees registers (previous mapping) and
+  LQ/SQ entries, and trains the UIT on long-latency loads.
+
+Idle spans (every unit waiting on a future event) are jumped over in one
+step; all time-integrated statistics account for the jump width, so
+results are identical to cycle-by-cycle execution, just faster.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.branch import GsharePredictor
+from repro.core.inflight import InFlightInst
+from repro.core.iq import IssueQueue
+from repro.core.lsq import LoadStoreQueues
+from repro.core.memdep import MemDepPredictor
+from repro.core.params import CoreParams
+from repro.core.regfile import RegisterFile
+from repro.core.rob import ROB
+from repro.core.stats import SimStats
+from repro.isa.instructions import OpClass
+from repro.isa.trace import DynInst
+from repro.ltp.config import LTPConfig
+from repro.ltp.controller import NO_BOUNDARY, LTPController
+from repro.memory.hierarchy import MemoryHierarchy
+
+#: byte address of static instruction 0 (code lives far from data)
+CODE_BASE = 1 << 40
+INST_BYTES = 4
+
+_EV_COMPLETE = 0
+_EV_TAG = 1
+
+_FU_GROUP = {
+    OpClass.INT_ALU: "alu",
+    OpClass.INT_MUL: "muldiv",
+    OpClass.INT_DIV: "muldiv",
+    OpClass.FP_ADD: "fp",
+    OpClass.FP_MUL: "fp",
+    OpClass.FP_DIV: "fp",
+    OpClass.LOAD: "mem",
+    OpClass.STORE: "mem",
+    OpClass.BRANCH: "alu",
+    OpClass.JUMP: "alu",
+    OpClass.NOP: "alu",
+}
+
+_NONPIPELINED = (OpClass.INT_DIV, OpClass.FP_DIV)
+
+_WORD_MASK = ~7
+
+
+class SimulationDeadlock(RuntimeError):
+    """The pipeline can make no progress and no future event exists."""
+
+
+class Pipeline:
+    """One simulated core running one dynamic trace."""
+
+    def __init__(self, trace: Sequence[DynInst],
+                 params: Optional[CoreParams] = None,
+                 ltp: Optional[LTPConfig] = None,
+                 controller: Optional[LTPController] = None,
+                 hierarchy: Optional[MemoryHierarchy] = None,
+                 branch_predictor: Optional[GsharePredictor] = None,
+                 warm_code: bool = True,
+                 allow_skip: bool = True) -> None:
+        self.params = (params or CoreParams()).validate()
+        self.ltp_config = (ltp or LTPConfig(enabled=False)).validate()
+        self.hierarchy = hierarchy or MemoryHierarchy(self.params.mem)
+        self.bpred = branch_predictor or GsharePredictor()
+        if controller is not None:
+            self.controller = controller
+        else:
+            self.controller = LTPController(
+                self.ltp_config, self.params.mem.dram_latency)
+        self.stats = SimStats()
+        #: False forces strict cycle-by-cycle execution (used by tests to
+        #: verify that idle-span jumping never changes results)
+        self.allow_skip = allow_skip
+
+        reserve = (self.ltp_config.release_reserve
+                   if self.ltp_config.enabled else 0)
+        self.rob = ROB(self.params.rob_size)
+        self.iq = IssueQueue(self.params.iq_size)
+        self.regfile = RegisterFile(self.params.int_regs,
+                                    self.params.fp_regs, reserve=reserve)
+        self.lsq = LoadStoreQueues(self.params.lq_size, self.params.sq_size,
+                                   reserve=reserve)
+        self.memdep = MemDepPredictor()
+
+        if warm_code and len(trace):
+            # kernels are tiny; pre-warm the instruction path so short
+            # traces are not dominated by a one-off cold L1I DRAM fill
+            max_pc = max(dyn.pc for dyn in trace)
+            for block in range(CODE_BASE >> 6,
+                               ((CODE_BASE + max_pc * INST_BYTES) >> 6) + 1):
+                self.hierarchy.l1i.insert(block)
+                self.hierarchy.l2.insert(block)
+                self.hierarchy.l3.insert(block)
+
+        self._trace = iter(trace)
+        self._next_dyn: Optional[DynInst] = None
+        self._trace_done = False
+        self._advance_trace()
+
+        self.cycle = 0
+        self._events: List[tuple] = []          # (cycle, seq, kind, record)
+        self._frontend: List[Tuple[int, DynInst]] = []  # FIFO via index
+        self._frontend_head = 0
+        self._frontend_cap = self.params.fetch_width * (
+            self.params.frontend_depth + 2)
+        self._fetch_stall_until = 0
+        self._fetch_blocked_on: Optional[int] = None  # seq of branch
+        self._commit_stall_until = 0
+        self._scoreboard: Dict[int, InFlightInst] = {}
+        self._ll_seqs: List[int] = []           # sorted in-flight LL seqs
+        self._open_loads: Dict[int, List[InFlightInst]] = {}
+        self._parked_store_pcs: Dict[int, int] = {}
+        self._fu_busy_until: Dict[str, int] = {}
+        self._last_commit_cycle = 0
+
+    # ==================================================================
+    # public API
+    # ==================================================================
+    def run(self) -> SimStats:
+        """Run the trace to completion and return the statistics."""
+        while not self._finished():
+            self._tick()
+        self.stats.cycles = self.cycle
+        self._export_activity()
+        return self.stats
+
+    # ==================================================================
+    # trace plumbing
+    # ==================================================================
+    def _advance_trace(self) -> None:
+        try:
+            self._next_dyn = next(self._trace)
+        except StopIteration:
+            self._next_dyn = None
+            self._trace_done = True
+
+    def _frontend_len(self) -> int:
+        return len(self._frontend) - self._frontend_head
+
+    def _frontend_peek(self) -> Optional[Tuple[int, DynInst]]:
+        if self._frontend_head < len(self._frontend):
+            return self._frontend[self._frontend_head]
+        return None
+
+    def _frontend_pop(self) -> Tuple[int, DynInst]:
+        item = self._frontend[self._frontend_head]
+        self._frontend_head += 1
+        if self._frontend_head > 64:
+            del self._frontend[:self._frontend_head]
+            self._frontend_head = 0
+        return item
+
+    def _finished(self) -> bool:
+        return (self._trace_done and self._frontend_len() == 0
+                and self.rob.empty)
+
+    # ==================================================================
+    # main loop
+    # ==================================================================
+    def _tick(self) -> None:
+        now = self.cycle
+        self.hierarchy.advance(now)
+
+        progress = False
+        progress |= self._writeback(now)
+        progress |= self._commit(now)
+        released, release_pending = self._ltp_release(now)
+        progress |= released > 0
+        progress |= self._rename(now)
+        progress |= self._issue(now)
+        progress |= self._fetch(now)
+
+        imminent = (progress
+                    or release_pending
+                    or self.iq.has_ready()
+                    or (self._events and self._events[0][0] <= now + 1))
+        head = self._frontend_peek()
+        if head is not None and head[0] <= now + 1:
+            imminent = True
+
+        if imminent or not self.allow_skip:
+            step = 1
+            if not imminent and self._next_event_cycle(now) is None:
+                if not self._finished():
+                    self._raise_deadlock(now)
+                return
+        else:
+            target = self._next_event_cycle(now)
+            if target is None:
+                if self._finished():
+                    return
+                self._raise_deadlock(now)
+            step = max(1, target - now)
+
+        self._accumulate(now, step)
+        self.cycle = now + step
+
+        if self.cycle - self._last_commit_cycle > self.params.deadlock_cycles:
+            self._raise_deadlock(now)
+
+    def _next_event_cycle(self, now: int) -> Optional[int]:
+        candidates: List[int] = []
+        if self._events:
+            candidates.append(self._events[0][0])
+        head = self._frontend_peek()
+        if head is not None:
+            candidates.append(head[0])
+        if self._fetch_stall_until > now and self._fetch_blocked_on is None:
+            candidates.append(self._fetch_stall_until)
+        if self._commit_stall_until > now:
+            candidates.append(self._commit_stall_until)
+        monitor = self.controller.monitor
+        if (self.ltp_config.enabled and monitor.mode == "auto"
+                and monitor.expiry > now):
+            candidates.append(monitor.expiry)
+        if not candidates:
+            return None
+        return max(now + 1, min(candidates))
+
+    def _raise_deadlock(self, now: int) -> None:
+        head = self.rob.head()
+        raise SimulationDeadlock(
+            f"no progress at cycle {now}: rob={len(self.rob)} "
+            f"iq={len(self.iq)} ltp={len(self.controller.queue)} "
+            f"frontend={self._frontend_len()} head={head!r} "
+            f"free_int={self.regfile.free('int')} "
+            f"free_fp={self.regfile.free('fp')} "
+            f"lq={self.lsq.lq_used} sq={self.lsq.sq_used}"
+        )
+
+    def _accumulate(self, now: int, step: int) -> None:
+        queue = self.controller.queue
+        self.stats.accumulate({
+            "rob": len(self.rob),
+            "iq": len(self.iq),
+            "lq": self.lsq.lq_used,
+            "sq": self.lsq.sq_used,
+            "rf_int": self.regfile.in_use("int"),
+            "rf_fp": self.regfile.in_use("fp"),
+            "ltp": len(queue),
+            "ltp_regs": queue.parked_with_dst,
+            "ltp_loads": queue.parked_loads,
+            "ltp_stores": queue.parked_stores,
+        }, step)
+        self.stats.ltp_enabled_cycles += self.controller.monitor.enabled_span(
+            now, now + step)
+
+    # ==================================================================
+    # fetch
+    # ==================================================================
+    def _fetch(self, now: int) -> bool:
+        if self._fetch_blocked_on is not None:
+            self.stats.stall_frontend += 1
+            return False
+        if now < self._fetch_stall_until:
+            return False
+        if self._next_dyn is None:
+            return False
+        if self._frontend_len() + self.params.fetch_width > self._frontend_cap:
+            return False
+
+        first = self._next_dyn
+        inst_addr = CODE_BASE + first.pc * INST_BYTES
+        icache = self.hierarchy.access_inst(inst_addr, now)
+        if icache.complete_cycle > now + 1:
+            self._fetch_stall_until = icache.complete_cycle
+            return False
+
+        fetched = 0
+        ready = now + self.params.frontend_depth
+        while (fetched < self.params.fetch_width
+               and self._next_dyn is not None):
+            dyn = self._next_dyn
+            self._frontend.append((ready, dyn))
+            self._advance_trace()
+            fetched += 1
+            self.stats.fetched += 1
+            if dyn.is_branch:
+                correct = self.bpred.predict_and_update(dyn.pc, dyn.taken)
+                if not correct:
+                    self.stats.branch_mispredicts += 1
+                    self._fetch_blocked_on = dyn.seq
+                    break
+            elif dyn.taken:
+                break  # taken jump/branch ends the fetch group
+        return fetched > 0
+
+    # ==================================================================
+    # rename / dispatch / park
+    # ==================================================================
+    def _rename(self, now: int) -> bool:
+        renamed = 0
+        params = self.params
+        stats = self.stats
+        while renamed < params.rename_width:
+            head = self._frontend_peek()
+            if head is None or head[0] > now:
+                if renamed == 0 and self.rob:
+                    stats.stall_frontend += 0  # fetch-side stall, not rename
+                break
+            if self.rob.full:
+                if renamed == 0:
+                    stats.stall_rob += 1
+                break
+            dyn = head[1]
+            record = InFlightInst(dyn)
+            record.producer_records = tuple(
+                self._scoreboard.get(p) if p >= 0 else None
+                for p in dyn.src_producers)
+            if dyn.inst.dst is not None:
+                record.rf_class = "fp" if dyn.inst.writes_fp else "int"
+
+            self.controller.observe_rename(record)
+            if record.urgent:
+                stats.classified_urgent += 1
+            else:
+                stats.classified_non_urgent += 1
+            if record.non_ready:
+                stats.classified_non_ready += 1
+
+            memdep_forced = False
+            if dyn.is_load and self._parked_store_pcs:
+                for store_pc in self.memdep.predicted_stores(dyn.pc):
+                    if self._parked_store_pcs.get(store_pc):
+                        memdep_forced = True
+                        break
+
+            decision = self.controller.decide(record, now, memdep_forced)
+            if decision == "stall":
+                if renamed == 0:
+                    stats.stall_ltp_full += 1
+                break
+
+            if decision == "park":
+                if not self._can_allocate_park(record):
+                    if renamed == 0:
+                        stats.stall_lsq += 1
+                    break
+                self._allocate_park(record, now)
+            else:
+                blocker = self._can_allocate_dispatch(record)
+                if blocker is not None:
+                    if renamed == 0:
+                        setattr(stats, blocker,
+                                getattr(stats, blocker) + 1)
+                    break
+                self._allocate_dispatch(record, now)
+
+            self._frontend_pop()
+            self._scoreboard[dyn.seq] = record
+            self._register_dependences(record)
+            record.rename_cycle = now
+            if record.predicted_ll:
+                self._ll_add(record)
+            renamed += 1
+            stats.renamed += 1
+        return renamed > 0
+
+    def _can_allocate_park(self, record: InFlightInst) -> bool:
+        cfg = self.ltp_config
+        dyn = record.dyn
+        if dyn.is_load and not cfg.park_loads:
+            if not self.lsq.can_allocate_load():
+                return False
+        if dyn.is_store and not cfg.park_stores:
+            if not self.lsq.can_allocate_store():
+                return False
+        if not cfg.defer_registers and record.rf_class is not None:
+            # WIB-style buffer: registers are taken at rename as usual
+            if not self.regfile.can_allocate(record.rf_class):
+                return False
+        return True
+
+    def _allocate_park(self, record: InFlightInst, now: int) -> None:
+        cfg = self.ltp_config
+        dyn = record.dyn
+        if dyn.is_load and not cfg.park_loads:
+            self.lsq.allocate_load()
+            record.lq_allocated = True
+        if dyn.is_store and not cfg.park_stores:
+            self.lsq.allocate_store(dyn.seq, dyn.pc)
+            record.sq_allocated = True
+        if not cfg.defer_registers and record.rf_class is not None:
+            self.regfile.allocate(record.rf_class)
+            record.rf_allocated = True
+        self.rob.push(record)
+        self.controller.park(record)
+        self.stats.ltp_parked += 1
+        self.stats.ltp_writes += 1
+        if dyn.is_store:
+            count = self._parked_store_pcs.get(dyn.pc, 0)
+            self._parked_store_pcs[dyn.pc] = count + 1
+
+    def _can_allocate_dispatch(self, record: InFlightInst) -> Optional[str]:
+        """Return the stall-stat name blocking dispatch, or None."""
+        dyn = record.dyn
+        if self.iq.full:
+            return "stall_iq"
+        if record.rf_class is not None and not self.regfile.can_allocate(
+                record.rf_class):
+            return "stall_regs"
+        if dyn.is_load and not self.lsq.can_allocate_load():
+            return "stall_lsq"
+        if dyn.is_store and not self.lsq.can_allocate_store():
+            return "stall_lsq"
+        return None
+
+    def _allocate_dispatch(self, record: InFlightInst, now: int) -> None:
+        dyn = record.dyn
+        if record.rf_class is not None:
+            self.regfile.allocate(record.rf_class)
+            record.rf_allocated = True
+        if dyn.is_load:
+            self.lsq.allocate_load()
+            record.lq_allocated = True
+        if dyn.is_store:
+            self.lsq.allocate_store(dyn.seq, dyn.pc)
+            record.sq_allocated = True
+        self.rob.push(record)
+        self.iq.insert(record)
+        self.stats.iq_writes += 1
+
+    def _register_dependences(self, record: InFlightInst) -> None:
+        waiting = 0
+        for producer in record.producer_records:
+            if producer is not None and not producer.done:
+                producer.consumers.append(record)
+                waiting += 1
+        record.waiting_on = waiting
+        if waiting == 0 and record.in_iq:
+            self.iq.mark_ready(record)
+
+    # ==================================================================
+    # LTP release (wakeup)
+    # ==================================================================
+    def _boundary_seq(self) -> int:
+        if len(self._ll_seqs) < 2:
+            return NO_BOUNDARY
+        return self._ll_seqs[1]
+
+    def _ll_add(self, record: InFlightInst) -> None:
+        if not record.ll_listed:
+            record.ll_listed = True
+            insort(self._ll_seqs, record.seq)
+
+    def _ll_remove(self, record: InFlightInst) -> None:
+        if record.ll_listed:
+            record.ll_listed = False
+            index = self._ll_seqs.index(record.seq)
+            del self._ll_seqs[index]
+
+    def _ltp_release(self, now: int) -> Tuple[int, bool]:
+        controller = self.controller
+        if not len(controller.queue):
+            return 0, False
+        ports = self.ltp_config.ports
+        boundary = self._boundary_seq()
+        head = self.rob.head()
+        force_seq = head.seq if head is not None and head.parked else -1
+        released = 0
+        while released < ports:
+            candidates = controller.release_candidates(
+                now, boundary, force_seq, 1)
+            if not candidates:
+                break
+            record = candidates[0]
+            if not self._try_release(record, now):
+                break
+            released += 1
+            if record.forced_release:
+                self.stats.ltp_forced_releases += 1
+        pending = False
+        if released >= ports:
+            pending = bool(controller.release_candidates(
+                now, boundary, force_seq, 1))
+        return released, pending
+
+    def _try_release(self, record: InFlightInst, now: int) -> bool:
+        dyn = record.dyn
+        if self.iq.full:
+            return False
+        if (record.rf_class is not None and not record.rf_allocated
+                and not self.regfile.can_allocate(record.rf_class,
+                                                  honor_reserve=False)):
+            return False
+        if dyn.is_load and not record.lq_allocated:
+            if not self.lsq.can_allocate_load(honor_reserve=False):
+                return False
+        if dyn.is_store and not record.sq_allocated:
+            if not self.lsq.can_allocate_store(honor_reserve=False):
+                return False
+
+        self.controller.release(record)
+        if record.rf_class is not None and not record.rf_allocated:
+            self.regfile.allocate(record.rf_class, honor_reserve=False)
+            record.rf_allocated = True
+        if dyn.is_load and not record.lq_allocated:
+            self.lsq.allocate_load()
+            record.lq_allocated = True
+        if dyn.is_store and not record.sq_allocated:
+            self.lsq.allocate_store(dyn.seq, dyn.pc)
+            record.sq_allocated = True
+        if dyn.is_store:
+            count = self._parked_store_pcs.get(dyn.pc, 0)
+            if count <= 1:
+                self._parked_store_pcs.pop(dyn.pc, None)
+            else:
+                self._parked_store_pcs[dyn.pc] = count - 1
+        record.release_cycle = now
+        self.iq.insert(record)
+        self.stats.ltp_released += 1
+        self.stats.ltp_reads += 1
+        self.stats.iq_writes += 1
+        return True
+
+    # ==================================================================
+    # issue / execute
+    # ==================================================================
+    def _issue(self, now: int) -> bool:
+        fu_used: Dict[str, int] = {}
+        params = self.params
+
+        def try_issue(record: InFlightInst) -> bool:
+            group = _FU_GROUP[record.dyn.op_class]
+            if fu_used.get(group, 0) >= params.fu_counts.get(group, 1):
+                return False
+            if record.dyn.op_class in _NONPIPELINED:
+                if now < self._fu_busy_until.get(group, 0):
+                    return False
+            if not self._execute(record, now):
+                return False
+            fu_used[group] = fu_used.get(group, 0) + 1
+            return True
+
+        picked = self.iq.select(try_issue, params.issue_width)
+        for record in picked:
+            record.issue_cycle = now
+            self.stats.issued += 1
+            self.stats.rf_reads += len(record.dyn.inst.srcs)
+        return bool(picked)
+
+    def _execute(self, record: InFlightInst, now: int) -> bool:
+        """Compute the completion time; return False to retry later."""
+        dyn = record.dyn
+        op_class = dyn.op_class
+        latencies = self.params.latencies
+
+        if dyn.is_load:
+            return self._execute_load(record, now)
+
+        if dyn.is_store:
+            agu = latencies["agu"]
+            addr = dyn.addr
+            resolve_cycle = now + agu
+            self.lsq.store_executed(dyn.seq, addr, resolve_cycle)
+            self._check_violation(record, addr, resolve_cycle)
+            completion = resolve_cycle + latencies["store"]
+            self._schedule_completion(record, completion)
+            return True
+
+        latency = latencies.get(op_class.value, latencies["int_alu"])
+        completion = now + latency
+        if op_class in _NONPIPELINED:
+            group = _FU_GROUP[op_class]
+            self._fu_busy_until[group] = completion
+            if record.own_ticket is not None:
+                lead = min(self.params.mem.dram_wakeup_lead, latency)
+                self._schedule_tag(record, completion - lead)
+        self._schedule_completion(record, completion)
+        return True
+
+    def _execute_load(self, record: InFlightInst, now: int) -> bool:
+        dyn = record.dyn
+        latencies = self.params.latencies
+        agu = latencies["agu"]
+        addr = dyn.addr
+
+        state, entry = self.lsq.older_store_state(dyn.seq, addr, now)
+        if state == "unknown":
+            if self.memdep.must_wait(dyn.pc, entry.pc):
+                return False  # wait for the store's address
+            # speculate past the unknown store
+        elif state == "forward":
+            completion = now + agu + latencies["forward"]
+            record.mem_level = "forward"
+            self._schedule_completion(record, completion)
+            self._schedule_tag(record, completion)
+            self._track_open_load(record, addr)
+            return True
+
+        result = self.hierarchy.access_data(addr, now + agu,
+                                            is_store=False, pc=dyn.pc)
+        if result is None:
+            return False  # MSHRs full; retry
+        record.mem_level = result.level
+        record.actual_ll = result.long_latency
+        if result.long_latency:
+            self.stats.long_latency_loads += 1
+            self._ll_add(record)
+        if result.level == "dram":
+            self.controller.on_dram_demand_access(now)
+        self._schedule_completion(record, result.complete_cycle)
+        self._schedule_tag(record,
+                           min(result.tag_known_cycle, result.complete_cycle))
+        self._track_open_load(record, addr)
+        return True
+
+    def _track_open_load(self, record: InFlightInst, addr: int) -> None:
+        word = addr & _WORD_MASK
+        self._open_loads.setdefault(word, []).append(record)
+
+    def _untrack_open_load(self, record: InFlightInst) -> None:
+        word = record.dyn.addr & _WORD_MASK
+        entries = self._open_loads.get(word)
+        if entries:
+            try:
+                entries.remove(record)
+            except ValueError:
+                pass
+            if not entries:
+                del self._open_loads[word]
+
+    def _check_violation(self, store: InFlightInst, addr: int,
+                         now: int) -> None:
+        """A store resolved its address: detect younger issued loads."""
+        word = addr & _WORD_MASK
+        for load in self._open_loads.get(word, ()):
+            if load.seq > store.seq and load.issue_cycle is not None:
+                self.stats.memory_violations += 1
+                self._commit_stall_until = max(
+                    self._commit_stall_until,
+                    now + self.params.violation_penalty)
+                self.memdep.train_violation(load.dyn.pc, store.dyn.pc)
+                self.controller.on_violation(load.dyn.pc, store.dyn.pc)
+
+    def _schedule_completion(self, record: InFlightInst, cycle: int) -> None:
+        record.completion_cycle = cycle
+        heapq.heappush(self._events, (cycle, record.seq, _EV_COMPLETE, record))
+
+    def _schedule_tag(self, record: InFlightInst, cycle: int) -> None:
+        if record.own_ticket is not None:
+            heapq.heappush(self._events, (cycle, record.seq, _EV_TAG, record))
+
+    # ==================================================================
+    # writeback
+    # ==================================================================
+    def _writeback(self, now: int) -> bool:
+        events = self._events
+        width = self.params.writeback_width
+        completed = 0
+        progress = False
+        while events and events[0][0] <= now:
+            if events[0][2] == _EV_COMPLETE and completed >= width:
+                break
+            _, _, kind, record = heapq.heappop(events)
+            if kind == _EV_TAG:
+                self.controller.on_tag_known(record)
+                progress = True
+                continue
+            completed += 1
+            progress = True
+            self._complete(record, now)
+        return progress
+
+    def _complete(self, record: InFlightInst, now: int) -> None:
+        record.done = True
+        dyn = record.dyn
+        if dyn.has_dst:
+            self.stats.rf_writes += 1
+        for consumer in record.consumers:
+            consumer.waiting_on -= 1
+            if consumer.waiting_on == 0 and consumer.in_iq:
+                self.iq.mark_ready(consumer)
+        self._ll_remove(record)
+        if record.own_ticket is not None:
+            # safety net: clear tickets no later than completion
+            self.controller.on_tag_known(record)
+        if dyn.is_load:
+            self.controller.on_load_complete(record, record.actual_ll)
+        if dyn.seq == self._fetch_blocked_on:
+            self._fetch_blocked_on = None
+            self._fetch_stall_until = now + self.params.mispredict_penalty
+
+    # ==================================================================
+    # commit
+    # ==================================================================
+    def _commit(self, now: int) -> bool:
+        if now < self._commit_stall_until:
+            return False
+        committed = 0
+        stats = self.stats
+        while committed < self.params.commit_width:
+            head = self.rob.head()
+            if head is None or not head.done:
+                break
+            self.rob.pop()
+            dyn = head.dyn
+            if dyn.has_dst:
+                # frees the previous mapping of the architectural register
+                self.regfile.release(head.rf_class)
+            if dyn.is_load:
+                self.lsq.release_load()
+                self._untrack_open_load(head)
+                stats.committed_loads += 1
+            elif dyn.is_store:
+                self.hierarchy.commit_store(dyn.addr)
+                self.lsq.release_store(dyn.seq)
+                stats.committed_stores += 1
+            elif dyn.is_branch:
+                stats.committed_branches += 1
+            self.controller.on_commit(head)
+            committed += 1
+            stats.committed += 1
+        if committed:
+            self._last_commit_cycle = now
+        return committed > 0
+
+    # ==================================================================
+    # wrap-up
+    # ==================================================================
+    def _export_activity(self) -> None:
+        stats = self.stats
+        classifier = self.controller.classifier
+        uit = getattr(classifier, "uit", None)
+        if uit is not None:
+            stats.uit_lookups = uit.lookups
+            stats.uit_inserts = uit.inserts
+        stats.ltp_park_stalls = self.controller.park_stalls
+        stats.extra["avg_outstanding"] = self.hierarchy.average_outstanding(
+            self.cycle)
+        stats.extra["avg_load_latency"] = (
+            self.hierarchy.stats.average_load_latency)
+        stats.extra["branch_accuracy"] = self.bpred.accuracy
+        stats.extra["prefetches_issued"] = float(
+            self.hierarchy.stats.prefetches_issued)
+        hits = self.hierarchy.stats.level_hits
+        total = max(1, sum(hits.values()))
+        for level, count in hits.items():
+            stats.extra[f"frac_{level}"] = count / total
+
+
+def simulate(trace: Sequence[DynInst],
+             params: Optional[CoreParams] = None,
+             ltp: Optional[LTPConfig] = None,
+             **kwargs) -> SimStats:
+    """Convenience wrapper: build a :class:`Pipeline` and run it."""
+    return Pipeline(trace, params=params, ltp=ltp, **kwargs).run()

@@ -1,0 +1,68 @@
+"""Physical register file modelled as per-class free pools.
+
+Dataflow in the timing model is tracked by producer sequence numbers, so
+the register file only needs to model *occupancy*: how many physical
+registers of each class are free.  The pool size is the paper's
+"available registers" — the registers beyond the architectural state
+(Section 4.2, footnote 4).  Renaming a destination consumes one entry;
+committing an instruction that redefines an architectural register frees
+exactly one entry (the previous mapping dies).
+
+A *reserve* can be carved out so LTP releases always find registers
+(Section 5.4's deadlock avoidance): normal rename honours the reserve,
+LTP release allocation does not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.params import cap
+
+
+class RegisterFileError(RuntimeError):
+    """Raised on accounting violations (double free / empty-pool alloc)."""
+
+
+class RegisterFile:
+    """Free-pool accounting for the int and fp physical register files."""
+
+    CLASSES = ("int", "fp")
+
+    def __init__(self, int_regs: Optional[int], fp_regs: Optional[int],
+                 reserve: int = 0) -> None:
+        if reserve < 0:
+            raise ValueError("reserve must be >= 0")
+        self._capacity: Dict[str, int] = {
+            "int": cap(int_regs), "fp": cap(fp_regs),
+        }
+        self._free: Dict[str, int] = dict(self._capacity)
+        # a reserve as large as the pool would deadlock rename entirely;
+        # clamp it so at least one register stays generally allocatable
+        smallest = min(self._capacity.values())
+        self.reserve = min(reserve, max(0, smallest - 1))
+
+    def capacity(self, cls: str) -> int:
+        return self._capacity[cls]
+
+    def free(self, cls: str) -> int:
+        return self._free[cls]
+
+    def in_use(self, cls: str) -> int:
+        used = self._capacity[cls] - self._free[cls]
+        # unlimited pools report their true usage, not the sentinel
+        return used
+
+    def can_allocate(self, cls: str, honor_reserve: bool = True) -> bool:
+        needed = 1 + (self.reserve if honor_reserve else 0)
+        return self._free[cls] >= needed
+
+    def allocate(self, cls: str, honor_reserve: bool = True) -> None:
+        if not self.can_allocate(cls, honor_reserve):
+            raise RegisterFileError(f"no free {cls} register")
+        self._free[cls] -= 1
+
+    def release(self, cls: str) -> None:
+        if self._free[cls] >= self._capacity[cls]:
+            raise RegisterFileError(f"double free of {cls} register")
+        self._free[cls] += 1

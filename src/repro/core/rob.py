@@ -1,0 +1,46 @@
+"""Reorder buffer: bounded FIFO of in-flight instructions.
+
+Every instruction — parked or not — gets a ROB entry at rename so commit
+stays in order (Section 3: "they have been allocated an entry in the ROB
+to ensure in-order commit").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional
+
+from repro.core.params import cap
+
+
+class ROB:
+    """Bounded in-order buffer of in-flight instruction records."""
+
+    def __init__(self, size: Optional[int]) -> None:
+        self.capacity = cap(size)
+        self._entries: Deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def push(self, record) -> None:
+        if self.full:
+            raise RuntimeError("ROB overflow")
+        self._entries.append(record)
+
+    def head(self):
+        return self._entries[0] if self._entries else None
+
+    def pop(self):
+        return self._entries.popleft()

@@ -1,0 +1,15 @@
+"""First-order energy / ED2P model for the window structures."""
+
+from repro.energy.model import (ARCH_REGS, EnergyBreakdown, compute_energy,
+                                iq_ports, relative_ed2p,
+                                relative_performance, rf_ports)
+
+__all__ = [
+    "ARCH_REGS",
+    "EnergyBreakdown",
+    "compute_energy",
+    "iq_ports",
+    "relative_ed2p",
+    "relative_performance",
+    "rf_ports",
+]

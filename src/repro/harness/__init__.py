@@ -1,0 +1,16 @@
+"""Experiment harness: runner, caching, reports and per-figure sweeps."""
+
+from repro.harness.config import DEFAULT_MEASURE, DEFAULT_WARMUP, SimConfig
+from repro.harness.report import render_table, size_label
+from repro.harness.runner import clear_memory_caches, get_trace, run_sim
+
+__all__ = [
+    "DEFAULT_MEASURE",
+    "DEFAULT_WARMUP",
+    "SimConfig",
+    "clear_memory_caches",
+    "get_trace",
+    "render_table",
+    "run_sim",
+    "size_label",
+]

@@ -1,0 +1,55 @@
+"""Tiny JSON result cache so repeated sweeps don't recompute runs."""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+
+class ResultCache:
+    """Disk + memory cache of simulation statistics keyed by config hash."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        if directory is None:
+            directory = os.environ.get(
+                "REPRO_CACHE_DIR",
+                str(Path(__file__).resolve().parents[3] / ".simcache"))
+        self.directory = Path(directory)
+        self._memory: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        path = self._path(key)
+        if path.is_file():
+            try:
+                with open(path) as handle:
+                    value = json.load(handle)
+            except (OSError, ValueError):
+                return None
+            self._memory[key] = value
+            self.hits += 1
+            return value
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: dict) -> None:
+        self._memory[key] = value
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(self.directory),
+                                       suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                json.dump(value, handle)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            pass  # disk cache is best-effort; memory cache still holds it

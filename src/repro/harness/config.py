@@ -1,0 +1,50 @@
+"""Simulation-run configuration and stable cache keys."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+from repro.core.params import CoreParams
+from repro.ltp.config import LTPConfig
+
+#: default instruction budgets; the paper warms for 250 M and measures
+#: 10 M per SimPoint on gem5 — a pure-Python cycle model is ~4 orders of
+#: magnitude slower, so the defaults measure a few thousand instructions
+#: of steady-state loop execution (scale with REPRO_MEASURE_INSTS /
+#: REPRO_WARMUP_INSTS).
+DEFAULT_WARMUP = int(os.environ.get("REPRO_WARMUP_INSTS", "6000"))
+DEFAULT_MEASURE = int(os.environ.get("REPRO_MEASURE_INSTS", "2500"))
+
+
+@dataclass
+class SimConfig:
+    """Everything one simulation run depends on."""
+
+    workload: str
+    core: CoreParams = field(default_factory=CoreParams)
+    ltp: LTPConfig = field(default_factory=LTPConfig)
+    warmup: int = DEFAULT_WARMUP
+    measure: int = DEFAULT_MEASURE
+
+    def validate(self) -> "SimConfig":
+        self.core.validate()
+        self.ltp.validate()
+        if self.warmup < 0 or self.measure <= 0:
+            raise ValueError("warmup must be >= 0, measure > 0")
+        return self
+
+    def key(self) -> str:
+        """Stable content hash identifying this configuration."""
+        payload = {
+            "workload": self.workload,
+            "core": asdict(self.core),
+            "ltp": asdict(self.ltp),
+            "warmup": self.warmup,
+            "measure": self.measure,
+            "schema": 3,
+        }
+        text = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(text.encode()).hexdigest()[:24]

@@ -1,0 +1,53 @@
+"""Fixed-width text tables for experiment output.
+
+Every benchmark prints the rows/series the paper's figures plot, using
+these helpers, so `pytest benchmarks/ --benchmark-only -s` regenerates
+the evaluation as readable text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                 title: Optional[str] = None, precision: int = 2) -> str:
+    """Render a fixed-width table with a rule under the header."""
+    text_rows: List[List[str]] = [[format_cell(c, precision) for c in row]
+                                  for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(list(headers)))
+    lines.append(fmt(["-" * w for w in widths]))
+    for row in text_rows:
+        lines.append(fmt(row))
+    return "\n".join(lines)
+
+
+def size_label(size) -> str:
+    """Render a structure-size sweep point ('inf' for unlimited)."""
+    return "inf" if size is None else str(size)

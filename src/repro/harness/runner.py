@@ -1,0 +1,147 @@
+"""Simulation runner: trace generation, warmup, execution, caching.
+
+The paper warms caches for 250 M instructions and then measures a 10 M
+instruction SimPoint.  The runner mirrors that shape:
+
+1. generate ``warmup + measure`` dynamic instructions from the workload,
+2. compute the oracle annotation over the *full* trace (miss levels,
+   Urgent/Non-Ready ground truth) — also used to warm the online
+   structures,
+3. warm the memory hierarchy, branch predictor and LTP classifier on
+   the warmup slice (functionally, no timing),
+4. run the timing pipeline over the measured slice.
+
+Results are cached on disk keyed by the full configuration hash;
+re-running a sweep is free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.branch import GsharePredictor
+from repro.core.params import CoreParams, cap
+from repro.core.pipeline import CODE_BASE, INST_BYTES, Pipeline
+from repro.harness.cachefile import ResultCache
+from repro.harness.config import SimConfig
+from repro.isa.trace import DynInst
+from repro.ltp.controller import LTPController
+from repro.ltp.oracle import OracleInfo, annotate_trace
+from repro.memory.cache import block_of
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.workloads import get_workload
+
+_trace_cache: Dict[Tuple[str, int], List[DynInst]] = {}
+_oracle_cache: Dict[Tuple[str, int, str, int], OracleInfo] = {}
+_result_cache = ResultCache()
+
+
+def get_trace(workload_name: str, length: int) -> List[DynInst]:
+    """Build (and memoise) the first *length* instructions of a workload."""
+    key = (workload_name, length)
+    trace = _trace_cache.get(key)
+    if trace is None:
+        # reuse a longer cached trace when one exists
+        for (name, cached_len), cached in _trace_cache.items():
+            if name == workload_name and cached_len >= length:
+                trace = cached[:length]
+                break
+        else:
+            trace = get_workload(workload_name).trace(length)
+        _trace_cache[key] = trace
+    return trace
+
+
+def get_oracle(workload_name: str, length: int, core: CoreParams,
+               trace: List[DynInst]) -> OracleInfo:
+    """Oracle annotation over the full trace (cached)."""
+    window = min(cap(core.rob_size), 4096)
+    mem_key = (f"{core.mem.l1d_size}/{core.mem.l2_size}/{core.mem.l3_size}/"
+               f"{core.mem.prefetch_degree}")
+    key = (workload_name, length, mem_key, window)
+    oracle = _oracle_cache.get(key)
+    if oracle is None:
+        workload = get_workload(workload_name)
+        oracle = annotate_trace(trace, core.mem, window=window,
+                                warm_regions=workload.warm_regions)
+        _oracle_cache[key] = oracle
+    return oracle
+
+
+def _warm_hierarchy(hierarchy: MemoryHierarchy, warmup_slice,
+                    program_len: int, warm_regions=()) -> None:
+    # Hot metadata a paper-scale warmup (250 M instructions) would leave
+    # resident: the kernels re-walk these small arrays with a period far
+    # longer than our warmup slice, so install them in the L2/L3 first.
+    for base, words in warm_regions:
+        for block in range(block_of(base), block_of(base + words * 8) + 1):
+            hierarchy.l2.insert(block)
+            hierarchy.l3.insert(block)
+    for dyn in warmup_slice:
+        if dyn.is_mem:
+            hierarchy.functional_access(dyn.addr, is_store=dyn.is_store,
+                                        pc=dyn.pc)
+    # warm the instruction path: kernels are tiny, touch every block once
+    for pc in range(program_len):
+        block = block_of(CODE_BASE + pc * INST_BYTES)
+        hierarchy.l1i.insert(block)
+        hierarchy.l2.insert(block)
+        hierarchy.l3.insert(block)
+
+
+def _warm_branch_predictor(bpred: GsharePredictor, warmup_slice) -> None:
+    for dyn in warmup_slice:
+        if dyn.is_branch:
+            bpred.predict_and_update(dyn.pc, dyn.taken)
+
+
+def run_sim(config: SimConfig, use_cache: bool = True) -> dict:
+    """Run one simulation; return the flattened statistics dict."""
+    config.validate()
+    key = config.key()
+    if use_cache:
+        cached = _result_cache.get(key)
+        if cached is not None:
+            return cached
+
+    total = config.warmup + config.measure
+    trace = get_trace(config.workload, total)
+    workload = get_workload(config.workload)
+
+    needs_oracle = (config.ltp.enabled
+                    and (config.ltp.classifier == "oracle"
+                         or config.ltp.ll_predictor == "oracle"))
+    oracle = get_oracle(config.workload, total, config.core, trace) \
+        if (needs_oracle or config.ltp.enabled) else None
+
+    warmup_slice = trace[:config.warmup]
+    measured = trace[config.warmup:]
+
+    hierarchy = MemoryHierarchy(config.core.mem)
+    _warm_hierarchy(hierarchy, warmup_slice, len(workload.program),
+                    warm_regions=workload.warm_regions)
+    bpred = GsharePredictor()
+    _warm_branch_predictor(bpred, warmup_slice)
+
+    controller = LTPController(config.ltp, config.core.mem.dram_latency,
+                               oracle=oracle)
+    if config.ltp.enabled and oracle is not None and config.warmup:
+        controller.warm_from_trace(
+            warmup_slice, oracle.long_latency[:config.warmup])
+
+    pipeline = Pipeline(measured, params=config.core, ltp=config.ltp,
+                        controller=controller, hierarchy=hierarchy,
+                        branch_predictor=bpred)
+    stats = pipeline.run()
+    result = stats.as_dict()
+    result["workload"] = config.workload
+    result["category"] = workload.category
+    if use_cache:
+        _result_cache.put(key, result)
+    return result
+
+
+def clear_memory_caches() -> None:
+    """Drop in-process trace/oracle caches (tests use this)."""
+    _trace_cache.clear()
+    _oracle_cache.clear()

@@ -1,0 +1,33 @@
+"""Small RISC-like ISA: instructions, assembler, functional executor.
+
+This package provides everything needed to express the paper's kernels as
+real programs and turn them into dynamic traces with true dependences:
+
+* :mod:`repro.isa.registers` — architectural register namespace.
+* :mod:`repro.isa.instructions` — static instruction definitions.
+* :mod:`repro.isa.program` — program container with label resolution.
+* :mod:`repro.isa.assembler` — text assembler.
+* :mod:`repro.isa.executor` — architectural interpreter producing traces.
+* :mod:`repro.isa.trace` — the :class:`DynInst` dynamic record.
+"""
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.executor import ExecutionError, Executor, Memory, trace_of
+from repro.isa.instructions import Instruction, InstructionError, OpClass
+from repro.isa.program import Program, ProgramError
+from repro.isa.trace import DynInst
+
+__all__ = [
+    "AssemblerError",
+    "assemble",
+    "DynInst",
+    "ExecutionError",
+    "Executor",
+    "Instruction",
+    "InstructionError",
+    "Memory",
+    "OpClass",
+    "Program",
+    "ProgramError",
+    "trace_of",
+]

@@ -1,0 +1,135 @@
+"""A tiny text assembler for the repro ISA.
+
+Syntax, one instruction per line::
+
+    loop:                     # labels end with ':'
+        ld   r2, r1, 0        # r2 <- mem[r1 + 0]
+        addi r1, r2, 8
+        bnez r2, loop         # branch to label
+        halt
+
+Comments start with ``#`` or ``;``.  Operands are comma separated.
+Memory operations use ``op dst, base, disp`` (or ``st data, base, disp``
+-- the *data* register is written first to match common RISC practice of
+listing the value being stored first).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.isa import registers
+from repro.isa.instructions import Instruction, InstructionError, OPCODES
+from repro.isa.program import Program, ProgramError, resolve_labels
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input, with line information."""
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_IMM_OPS = frozenset(
+    ["li", "fli", "addi", "andi", "slli", "srli",
+     "ld", "fld", "st", "fst"]
+)
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _parse_int(token: str, lineno: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"line {lineno}: bad immediate {token!r}") from exc
+
+
+def _build(opcode: str, operands: List[str], lineno: int) -> Instruction:
+    op_class, n_srcs, has_dst = OPCODES[opcode]
+    dst = None
+    srcs: List[str] = []
+    imm = 0
+    label = None
+    rest = list(operands)
+
+    if has_dst:
+        if not rest:
+            raise AssemblerError(f"line {lineno}: {opcode} missing destination")
+        dst = rest.pop(0)
+
+    if opcode in ("st", "fst"):
+        # st data, base, disp  ->  srcs = (base, data); imm = disp
+        if len(rest) not in (2, 3):
+            raise AssemblerError(f"line {lineno}: {opcode} expects data, base[, disp]")
+        data = rest.pop(0)
+        base = rest.pop(0)
+        imm = _parse_int(rest.pop(0), lineno) if rest else 0
+        srcs = [base, data]
+    elif op_class.is_control:
+        if not rest:
+            raise AssemblerError(f"line {lineno}: {opcode} missing target label")
+        label = rest.pop(-1)
+        srcs = rest
+    else:
+        while rest and registers.is_register(rest[0]) and len(srcs) < n_srcs:
+            srcs.append(rest.pop(0))
+        if rest:
+            if opcode in _IMM_OPS or opcode in ("ldx", "fldx"):
+                imm = _parse_int(rest.pop(0), lineno)
+            if rest:
+                raise AssemblerError(
+                    f"line {lineno}: trailing operands for {opcode}: {rest!r}"
+                )
+        if len(srcs) != n_srcs:
+            raise AssemblerError(
+                f"line {lineno}: {opcode} expects {n_srcs} register sources"
+            )
+
+    try:
+        return Instruction(opcode=opcode, dst=dst, srcs=tuple(srcs),
+                           imm=imm, label=label)
+    except InstructionError as exc:
+        raise AssemblerError(f"line {lineno}: {exc}") from exc
+
+
+def assemble(text: str, name: str = "program") -> Program:
+    """Assemble *text* into a :class:`Program`.
+
+    Raises :class:`AssemblerError` with a line number on any syntax error.
+    """
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        match = _LABEL_RE.match(line)
+        if match:
+            label = match.group(1)
+            if label in labels:
+                raise AssemblerError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = len(instructions)
+            continue
+        parts = line.split(None, 1)
+        opcode = parts[0].lower()
+        if opcode not in OPCODES:
+            raise AssemblerError(f"line {lineno}: unknown opcode {opcode!r}")
+        operands = []
+        if len(parts) > 1:
+            operands = [tok.strip() for tok in parts[1].split(",") if tok.strip()]
+        instructions.append(_build(opcode, operands, lineno))
+
+    if not instructions:
+        raise AssemblerError("empty program")
+
+    try:
+        return resolve_labels(instructions, labels, name=name)
+    except ProgramError as exc:
+        raise AssemblerError(str(exc)) from exc

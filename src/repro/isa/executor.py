@@ -1,0 +1,221 @@
+"""Functional executor: interprets a Program and emits a dynamic trace.
+
+The executor maintains architectural state (integer registers, FP
+registers modelled as integers for determinism, and a sparse 8-byte-word
+memory) and yields :class:`~repro.isa.trace.DynInst` records in program
+order.  Branches are resolved against real register values, so pointer
+chasing and data-dependent control flow behave exactly as they would on
+hardware.
+
+The executor also tracks, per architectural register, the sequence number
+of the last dynamic writer.  That gives every DynInst its true dataflow
+edges without any separate dependence analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.isa.instructions import Instruction, OpClass
+from repro.isa.program import Program
+from repro.isa.trace import DynInst
+
+WORD = 8  # bytes per memory word
+
+_MASK64 = (1 << 64) - 1
+
+
+def _to_signed(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+class ExecutionError(RuntimeError):
+    """Raised on functional-execution faults (bad PC, division by zero)."""
+
+
+class Memory:
+    """Sparse word-addressed functional memory (8-byte words)."""
+
+    def __init__(self, initial: Optional[Dict[int, int]] = None) -> None:
+        self._words: Dict[int, int] = {}
+        if initial:
+            for addr, value in initial.items():
+                self.store(addr, value)
+
+    @staticmethod
+    def _word_addr(addr: int) -> int:
+        if addr < 0:
+            raise ExecutionError(f"negative address 0x{addr:x}")
+        return addr - (addr % WORD)
+
+    def load(self, addr: int) -> int:
+        return self._words.get(self._word_addr(addr), 0)
+
+    def store(self, addr: int, value: int) -> None:
+        self._words[self._word_addr(addr)] = _to_signed(value)
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+
+class Executor:
+    """Interprets a :class:`Program`, yielding the dynamic trace."""
+
+    def __init__(self, program: Program,
+                 memory: Optional[Memory] = None,
+                 int_regs: Optional[Dict[str, int]] = None,
+                 fp_regs: Optional[Dict[str, int]] = None) -> None:
+        self.program = program
+        self.memory = memory if memory is not None else Memory()
+        self.regs: Dict[str, int] = {}
+        for name, value in (int_regs or {}).items():
+            self.regs[name] = _to_signed(value)
+        for name, value in (fp_regs or {}).items():
+            self.regs[name] = _to_signed(value)
+        # last dynamic writer per architectural register; -1 = initial state
+        self._last_writer: Dict[str, int] = {}
+        self.pc = 0
+        self.seq = 0
+        self.halted = False
+
+    def _read(self, reg: str) -> int:
+        return self.regs.get(reg, 0)
+
+    def _effective_address(self, inst: Instruction) -> int:
+        if inst.opcode in ("ld", "fld"):
+            return self._read(inst.srcs[0]) + inst.imm
+        if inst.opcode in ("ldx", "fldx"):
+            return self._read(inst.srcs[0]) + self._read(inst.srcs[1]) * WORD
+        if inst.opcode in ("st", "fst"):
+            # srcs = (base, data)
+            return self._read(inst.srcs[0]) + inst.imm
+        raise ExecutionError(f"not a memory op: {inst}")
+
+    def _alu(self, inst: Instruction) -> int:
+        op = inst.opcode
+        read = self._read
+        if op == "li" or op == "fli":
+            return inst.imm
+        if op == "mov" or op == "fmov" or op == "cvt":
+            return read(inst.srcs[0])
+        if op == "addi":
+            return read(inst.srcs[0]) + inst.imm
+        if op == "andi":
+            return read(inst.srcs[0]) & inst.imm
+        if op == "slli":
+            return read(inst.srcs[0]) << (inst.imm & 63)
+        if op == "srli":
+            return (read(inst.srcs[0]) & _MASK64) >> (inst.imm & 63)
+        a = read(inst.srcs[0])
+        b = read(inst.srcs[1]) if len(inst.srcs) > 1 else 0
+        if op in ("add", "fadd"):
+            return a + b
+        if op in ("sub", "fsub"):
+            return a - b
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        if op == "xor":
+            return a ^ b
+        if op == "sll":
+            return a << (b & 63)
+        if op == "srl":
+            return (a & _MASK64) >> (b & 63)
+        if op in ("mul", "fmul"):
+            return a * b
+        if op in ("div", "fdiv"):
+            if b == 0:
+                return 0  # architectural choice: div-by-zero yields 0
+            return int(a / b) if (a < 0) != (b < 0) else a // b
+        if op == "rem":
+            return a % b if b else 0
+        if op == "fsqrt":
+            return int(abs(a) ** 0.5)
+        raise ExecutionError(f"unhandled ALU opcode {op!r}")
+
+    def _branch_taken(self, inst: Instruction) -> bool:
+        read = self._read
+        op = inst.opcode
+        if op == "beq":
+            return read(inst.srcs[0]) == read(inst.srcs[1])
+        if op == "bne":
+            return read(inst.srcs[0]) != read(inst.srcs[1])
+        if op == "blt":
+            return read(inst.srcs[0]) < read(inst.srcs[1])
+        if op == "bge":
+            return read(inst.srcs[0]) >= read(inst.srcs[1])
+        if op == "bltz":
+            return read(inst.srcs[0]) < 0
+        if op == "bgez":
+            return read(inst.srcs[0]) >= 0
+        if op == "bnez":
+            return read(inst.srcs[0]) != 0
+        if op == "beqz":
+            return read(inst.srcs[0]) == 0
+        raise ExecutionError(f"unhandled branch opcode {op!r}")
+
+    def step(self) -> Optional[DynInst]:
+        """Execute one instruction; return its DynInst or None if halted."""
+        if self.halted:
+            return None
+        if not 0 <= self.pc < len(self.program):
+            raise ExecutionError(f"pc out of range: {self.pc}")
+        inst = self.program[self.pc]
+        producers = tuple(self._last_writer.get(reg, -1) for reg in inst.srcs)
+        addr: Optional[int] = None
+        store_value: Optional[int] = None
+        taken: Optional[bool] = None
+        next_pc = self.pc + 1
+        op_class = inst.op_class
+
+        if inst.is_halt:
+            self.halted = True
+        elif op_class is OpClass.NOP:
+            pass
+        elif inst.is_load:
+            addr = self._effective_address(inst)
+            value = self.memory.load(addr)
+            self.regs[inst.dst] = _to_signed(value)
+        elif inst.is_store:
+            addr = self._effective_address(inst)
+            store_value = self._read(inst.srcs[1])
+            self.memory.store(addr, store_value)
+        elif inst.is_branch:
+            taken = self._branch_taken(inst)
+            if taken:
+                next_pc = inst.target
+        elif op_class is OpClass.JUMP:
+            taken = True
+            next_pc = inst.target
+        else:
+            self.regs[inst.dst] = _to_signed(self._alu(inst))
+
+        dyn = DynInst(seq=self.seq, pc=self.pc, inst=inst,
+                      src_producers=producers, addr=addr,
+                      store_value=store_value, taken=taken, next_pc=next_pc)
+        if inst.dst is not None:
+            self._last_writer[inst.dst] = self.seq
+        self.seq += 1
+        self.pc = next_pc
+        return dyn
+
+    def run(self, max_insts: int) -> Iterator[DynInst]:
+        """Yield up to *max_insts* dynamic instructions."""
+        for _ in range(max_insts):
+            dyn = self.step()
+            if dyn is None:
+                return
+            yield dyn
+
+
+def trace_of(program: Program,
+             max_insts: int,
+             memory: Optional[Memory] = None,
+             int_regs: Optional[Dict[str, int]] = None,
+             fp_regs: Optional[Dict[str, int]] = None) -> List[DynInst]:
+    """Convenience wrapper: run *program* and return the trace as a list."""
+    executor = Executor(program, memory=memory, int_regs=int_regs,
+                        fp_regs=fp_regs)
+    return list(executor.run(max_insts))

@@ -1,0 +1,220 @@
+"""Instruction definitions for the repro ISA.
+
+The ISA is a small RISC-like instruction set rich enough to express the
+kernels the LTP paper reasons about (pointer chasing, indirect array
+accesses, floating-point lattice updates, streaming stores) while staying
+simple enough to interpret functionally at trace-generation speed.
+
+Each static :class:`Instruction` carries its operation class
+(:class:`OpClass`), destination/source registers, an immediate, and an
+optional branch target.  Dynamic (per-execution) information lives in
+:class:`repro.isa.trace.DynInst`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa import registers
+
+
+class OpClass(enum.Enum):
+    """Functional classes; these drive latency and FU selection."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    NOP = "nop"
+
+    @property
+    def is_mem(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_control(self) -> bool:
+        return self in (OpClass.BRANCH, OpClass.JUMP)
+
+    @property
+    def is_long_fixed_latency(self) -> bool:
+        """Classes the paper treats as intrinsically long latency."""
+        return self in (OpClass.INT_DIV, OpClass.FP_DIV)
+
+
+#: opcode mnemonic -> (OpClass, number of register sources, has destination)
+OPCODES = {
+    "add": (OpClass.INT_ALU, 2, True),
+    "sub": (OpClass.INT_ALU, 2, True),
+    "and": (OpClass.INT_ALU, 2, True),
+    "or": (OpClass.INT_ALU, 2, True),
+    "xor": (OpClass.INT_ALU, 2, True),
+    "sll": (OpClass.INT_ALU, 2, True),
+    "srl": (OpClass.INT_ALU, 2, True),
+    "addi": (OpClass.INT_ALU, 1, True),
+    "andi": (OpClass.INT_ALU, 1, True),
+    "slli": (OpClass.INT_ALU, 1, True),
+    "srli": (OpClass.INT_ALU, 1, True),
+    "li": (OpClass.INT_ALU, 0, True),
+    "mov": (OpClass.INT_ALU, 1, True),
+    "mul": (OpClass.INT_MUL, 2, True),
+    "div": (OpClass.INT_DIV, 2, True),
+    "rem": (OpClass.INT_DIV, 2, True),
+    "fadd": (OpClass.FP_ADD, 2, True),
+    "fsub": (OpClass.FP_ADD, 2, True),
+    "fmul": (OpClass.FP_MUL, 2, True),
+    "fdiv": (OpClass.FP_DIV, 2, True),
+    "fsqrt": (OpClass.FP_DIV, 1, True),
+    "fmov": (OpClass.FP_ADD, 1, True),
+    "fli": (OpClass.FP_ADD, 0, True),
+    "cvt": (OpClass.FP_ADD, 1, True),  # int <-> fp move/convert
+    # ld  rd, rs1, imm      : rd  <- mem[rs1 + imm]
+    # ldx rd, rs1, rs2      : rd  <- mem[rs1 + rs2*8]
+    "ld": (OpClass.LOAD, 1, True),
+    "ldx": (OpClass.LOAD, 2, True),
+    "fld": (OpClass.LOAD, 1, True),
+    "fldx": (OpClass.LOAD, 2, True),
+    # st  rs2, rs1, imm     : mem[rs1 + imm] <- rs2
+    "st": (OpClass.STORE, 2, False),
+    "fst": (OpClass.STORE, 2, False),
+    # branches: beq rs1, rs2, label
+    "beq": (OpClass.BRANCH, 2, False),
+    "bne": (OpClass.BRANCH, 2, False),
+    "blt": (OpClass.BRANCH, 2, False),
+    "bge": (OpClass.BRANCH, 2, False),
+    "bltz": (OpClass.BRANCH, 1, False),
+    "bgez": (OpClass.BRANCH, 1, False),
+    "bnez": (OpClass.BRANCH, 1, False),
+    "beqz": (OpClass.BRANCH, 1, False),
+    "j": (OpClass.JUMP, 0, False),
+    "halt": (OpClass.NOP, 0, False),
+    "nop": (OpClass.NOP, 0, False),
+}
+
+
+class InstructionError(ValueError):
+    """Raised when an instruction is malformed."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single static instruction.
+
+    Attributes:
+        opcode: mnemonic, e.g. ``"ld"``.
+        dst: destination register name or ``None``.
+        srcs: tuple of source register names (address registers first for
+            memory operations; store data register last).
+        imm: immediate operand (displacement for memory ops, literal for
+            ``li``/``addi`` style ops).
+        target: branch/jump target as a static instruction index; resolved
+            by the assembler from labels.
+        label: unresolved label text (kept for round-tripping/debugging).
+    """
+
+    opcode: str
+    dst: Optional[str] = None
+    srcs: Tuple[str, ...] = ()
+    imm: int = 0
+    target: Optional[int] = None
+    label: Optional[str] = None
+    comment: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.opcode not in OPCODES:
+            raise InstructionError(f"unknown opcode {self.opcode!r}")
+        op_class, n_srcs, has_dst = OPCODES[self.opcode]
+        if len(self.srcs) != n_srcs:
+            raise InstructionError(
+                f"{self.opcode} expects {n_srcs} register sources, "
+                f"got {len(self.srcs)}: {self.srcs!r}"
+            )
+        if has_dst and self.dst is None:
+            raise InstructionError(f"{self.opcode} requires a destination")
+        if not has_dst and self.dst is not None:
+            raise InstructionError(f"{self.opcode} takes no destination")
+        for reg in self.srcs:
+            registers.validate(reg)
+        if self.dst is not None:
+            registers.validate(self.dst)
+        if op_class.is_control and self.target is None and self.label is None:
+            raise InstructionError(f"{self.opcode} requires a target or label")
+
+    @property
+    def op_class(self) -> OpClass:
+        return OPCODES[self.opcode][0]
+
+    @property
+    def is_load(self) -> bool:
+        return self.op_class is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op_class is OpClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op_class.is_mem
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op_class is OpClass.BRANCH
+
+    @property
+    def is_control(self) -> bool:
+        return self.op_class.is_control
+
+    @property
+    def is_halt(self) -> bool:
+        return self.opcode == "halt"
+
+    @property
+    def writes_fp(self) -> bool:
+        return self.dst is not None and registers.is_fp_register(self.dst)
+
+    @property
+    def writes_int(self) -> bool:
+        return self.dst is not None and registers.is_int_register(self.dst)
+
+    def with_target(self, target: int) -> "Instruction":
+        """Return a copy with the branch target resolved to *target*."""
+        return Instruction(
+            opcode=self.opcode,
+            dst=self.dst,
+            srcs=self.srcs,
+            imm=self.imm,
+            target=target,
+            label=self.label,
+            comment=self.comment,
+        )
+
+    def render(self) -> str:
+        """Render the instruction back to assembly text."""
+        parts = [self.opcode]
+        operands = []
+        if self.dst is not None:
+            operands.append(self.dst)
+        operands.extend(self.srcs)
+        if self.opcode in ("li", "fli", "addi", "andi", "slli", "srli",
+                           "ld", "ldx", "fld", "fldx", "st", "fst"):
+            operands.append(str(self.imm))
+        if self.label is not None:
+            operands.append(self.label)
+        elif self.target is not None:
+            operands.append(f"@{self.target}")
+        if operands:
+            parts.append(", ".join(operands))
+        text = " ".join(parts)
+        if self.comment:
+            text = f"{text}  # {self.comment}"
+        return text
+
+    def __str__(self) -> str:  # pragma: no cover - debugging nicety
+        return self.render()

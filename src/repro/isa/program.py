@@ -1,0 +1,88 @@
+"""Program container: an ordered list of instructions plus label map."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.isa.instructions import Instruction, InstructionError
+
+
+class ProgramError(ValueError):
+    """Raised for malformed programs (bad labels, empty bodies, ...)."""
+
+
+@dataclass
+class Program:
+    """A static program: instructions with resolved branch targets.
+
+    Labels map a symbolic name to the index of the instruction that
+    follows it.  Branch targets are stored as static instruction indices
+    so the executor never needs the label table.
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    def _validate(self) -> None:
+        n = len(self.instructions)
+        for label, index in self.labels.items():
+            if not 0 <= index <= n:
+                raise ProgramError(f"label {label!r} out of range: {index}")
+        for pc, inst in enumerate(self.instructions):
+            if inst.is_control and inst.target is None:
+                raise ProgramError(f"unresolved branch at pc {pc}: {inst}")
+            if inst.is_control and not 0 <= inst.target < n:
+                raise ProgramError(
+                    f"branch target out of range at pc {pc}: {inst.target}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    def label_for(self, index: int) -> Optional[str]:
+        """Return the first label pointing at *index*, if any."""
+        for label, target in self.labels.items():
+            if target == index:
+                return label
+        return None
+
+    def listing(self) -> str:
+        """Return a human-readable program listing with labels."""
+        by_index: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = []
+        for pc, inst in enumerate(self.instructions):
+            for label in sorted(by_index.get(pc, ())):
+                lines.append(f"{label}:")
+            lines.append(f"  {pc:4d}  {inst.render()}")
+        return "\n".join(lines)
+
+
+def resolve_labels(instructions: Sequence[Instruction],
+                   labels: Dict[str, int],
+                   name: str = "program") -> Program:
+    """Resolve symbolic labels on control instructions into indices."""
+    resolved: List[Instruction] = []
+    for pc, inst in enumerate(instructions):
+        if inst.is_control and inst.target is None:
+            if inst.label not in labels:
+                raise ProgramError(f"undefined label {inst.label!r} at pc {pc}")
+            resolved.append(inst.with_target(labels[inst.label]))
+        else:
+            resolved.append(inst)
+    try:
+        return Program(instructions=resolved, labels=dict(labels), name=name)
+    except InstructionError as exc:  # pragma: no cover - defensive
+        raise ProgramError(str(exc)) from exc

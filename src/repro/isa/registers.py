@@ -1,0 +1,65 @@
+"""Architectural register namespace for the repro ISA.
+
+The ISA exposes 32 integer registers (``r0`` .. ``r31``) and 32
+floating-point registers (``f0`` .. ``f31``).  Registers are plain strings
+(``"r3"``, ``"f7"``); this keeps instructions hashable and trivially
+printable while the helpers below centralise validation and classification.
+
+``r0`` is a general-purpose register (it is *not* hardwired to zero); the
+assembler provides ``li`` for loading immediates instead.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+INT_REGS = tuple(f"r{i}" for i in range(NUM_INT_REGS))
+FP_REGS = tuple(f"f{i}" for i in range(NUM_FP_REGS))
+
+_VALID = frozenset(INT_REGS) | frozenset(FP_REGS)
+
+
+class RegisterError(ValueError):
+    """Raised when a register name is malformed or out of range."""
+
+
+def is_register(name: str) -> bool:
+    """Return True if *name* names an architectural register."""
+    return name in _VALID
+
+
+def is_int_register(name: str) -> bool:
+    """Return True if *name* is an integer register (``rN``)."""
+    return name in _VALID and name[0] == "r"
+
+
+def is_fp_register(name: str) -> bool:
+    """Return True if *name* is a floating-point register (``fN``)."""
+    return name in _VALID and name[0] == "f"
+
+
+def reg_class(name: str) -> str:
+    """Return ``"int"`` or ``"fp"`` for a valid register name.
+
+    Raises :class:`RegisterError` for anything else.
+    """
+    if is_int_register(name):
+        return "int"
+    if is_fp_register(name):
+        return "fp"
+    raise RegisterError(f"not a register: {name!r}")
+
+
+def reg_index(name: str) -> int:
+    """Return the numeric index of a valid register name."""
+    if not is_register(name):
+        raise RegisterError(f"not a register: {name!r}")
+    return int(name[1:])
+
+
+def validate(name: str) -> str:
+    """Return *name* unchanged if valid, else raise :class:`RegisterError`."""
+    if not is_register(name):
+        raise RegisterError(f"not a register: {name!r}")
+    return name

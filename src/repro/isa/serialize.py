@@ -1,0 +1,80 @@
+"""Trace serialization: save and load dynamic traces as JSON lines.
+
+Traces are deterministic, but regeneration costs functional-execution
+time; serialization lets long traces be produced once and shared.
+Programs serialize alongside the trace so a loaded trace is
+self-contained (the static instruction for each record is rebuilt).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+from repro.isa.trace import DynInst
+
+FORMAT_VERSION = 1
+
+
+def _inst_to_dict(inst: Instruction) -> dict:
+    return {
+        "opcode": inst.opcode,
+        "dst": inst.dst,
+        "srcs": list(inst.srcs),
+        "imm": inst.imm,
+        "target": inst.target,
+        "label": inst.label,
+    }
+
+
+def _inst_from_dict(data: dict) -> Instruction:
+    return Instruction(opcode=data["opcode"], dst=data["dst"],
+                       srcs=tuple(data["srcs"]), imm=data["imm"],
+                       target=data["target"], label=data["label"])
+
+
+def save_trace(path: Union[str, Path], program: Program,
+               trace: Iterable[DynInst]) -> int:
+    """Write *trace* to *path* as JSONL; returns the number of records."""
+    path = Path(path)
+    count = 0
+    with open(path, "w") as handle:
+        header = {
+            "version": FORMAT_VERSION,
+            "program": [_inst_to_dict(inst) for inst in program],
+            "labels": program.labels,
+            "name": program.name,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for dyn in trace:
+            record = [dyn.seq, dyn.pc, dyn.src_producers, dyn.addr,
+                      dyn.store_value, dyn.taken, dyn.next_pc]
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: Union[str, Path]) -> List[DynInst]:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    with open(path) as handle:
+        header = json.loads(handle.readline())
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format: {header.get('version')!r}")
+        instructions = [_inst_from_dict(d) for d in header["program"]]
+        program = Program(instructions=instructions,
+                          labels=dict(header["labels"]),
+                          name=header.get("name", "loaded"))
+        trace = []
+        for line in handle:
+            seq, pc, producers, addr, store_value, taken, next_pc = (
+                json.loads(line))
+            trace.append(DynInst(
+                seq=seq, pc=pc, inst=program[pc],
+                src_producers=tuple(producers), addr=addr,
+                store_value=store_value, taken=taken, next_pc=next_pc))
+    return trace

@@ -1,0 +1,90 @@
+"""Dynamic-instruction records produced by the functional executor.
+
+A :class:`DynInst` is one executed instance of a static instruction.  It
+carries everything a trace-driven timing model needs:
+
+* true register dataflow, as the sequence numbers of the producing
+  dynamic instructions (``src_producers``),
+* the effective memory address for loads/stores,
+* the actual branch direction and successor PC.
+
+The timing model treats ``src_producers`` as the rename result: it is
+exactly the mapping a RAT would compute, so the timing model can key its
+scoreboard by sequence number and model the physical register file purely
+as an occupancy resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.isa.instructions import Instruction, OpClass
+
+
+@dataclass
+class DynInst:
+    """One dynamic instruction instance.
+
+    Attributes:
+        seq: global sequence number (0-based, program order).
+        pc: static instruction index.
+        inst: the static instruction.
+        src_producers: for each register source, the sequence number of
+            the dynamic instruction that produced it, or ``-1`` if the
+            value predates the trace (initial architectural state).
+        addr: effective byte address for loads/stores, else ``None``.
+        store_value: value stored (stores only) — used by functional
+            memory replay in tests.
+        taken: actual branch direction (branches only).
+        next_pc: static index of the successor instruction.
+    """
+
+    __slots__ = ("seq", "pc", "inst", "src_producers", "addr",
+                 "store_value", "taken", "next_pc")
+
+    seq: int
+    pc: int
+    inst: Instruction
+    src_producers: Tuple[int, ...]
+    addr: Optional[int]
+    store_value: Optional[int]
+    taken: Optional[bool]
+    next_pc: int
+
+    @property
+    def op_class(self) -> OpClass:
+        return self.inst.op_class
+
+    @property
+    def is_load(self) -> bool:
+        return self.inst.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.inst.is_store
+
+    @property
+    def is_mem(self) -> bool:
+        return self.inst.is_mem
+
+    @property
+    def is_branch(self) -> bool:
+        return self.inst.is_branch
+
+    @property
+    def is_control(self) -> bool:
+        return self.inst.is_control
+
+    @property
+    def has_dst(self) -> bool:
+        return self.inst.dst is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        extra = []
+        if self.addr is not None:
+            extra.append(f"addr=0x{self.addr:x}")
+        if self.taken is not None:
+            extra.append(f"taken={self.taken}")
+        suffix = (" " + " ".join(extra)) if extra else ""
+        return f"<DynInst #{self.seq} pc={self.pc} {self.inst.render()}{suffix}>"

@@ -1,0 +1,97 @@
+"""Urgency classification: online (UIT + backward analysis) and oracle.
+
+The online classifier implements Section 5.2's Iterative Backward
+Dependency Analysis:
+
+1. When a long-latency load commits, its PC enters the UIT.
+2. The RAT is extended with the *PC of the producer* of each
+   architectural register.  When an instruction that hits in the UIT is
+   renamed, its sources' producer PCs are inserted into the UIT, so the
+   Urgent property crawls backwards through the slice one step per
+   execution of the consuming instruction.
+3. Violating stores are inserted on memory-order violations
+   (Section 5.3).
+
+The oracle classifier answers from a trace pre-pass
+(:mod:`repro.ltp.oracle`) at either PC or dynamic granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.inflight import InFlightInst
+from repro.ltp.oracle import OracleInfo
+from repro.ltp.uit import UrgentInstructionTable
+
+
+class OnlineClassifier:
+    """UIT-based urgency learning, as implementable in hardware."""
+
+    def __init__(self, uit_size: Optional[int] = 256, uit_ways: int = 4) -> None:
+        self.uit = UrgentInstructionTable(size=uit_size, ways=uit_ways)
+        # RAT extension: architectural register -> producer PC
+        self._producer_pc: Dict[str, int] = {}
+
+    def observe_rename(self, record: InFlightInst) -> bool:
+        """Classify *record* and run one backward-propagation step.
+
+        Returns True when the instruction is Urgent.
+        """
+        dyn = record.dyn
+        urgent = self.uit.contains(dyn.pc)
+        if urgent:
+            for reg in dyn.inst.srcs:
+                producer_pc = self._producer_pc.get(reg)
+                if producer_pc is not None:
+                    self.uit.insert(producer_pc)
+        if dyn.inst.dst is not None:
+            self._producer_pc[dyn.inst.dst] = dyn.pc
+        return urgent
+
+    def on_long_latency_commit(self, pc: int) -> None:
+        self.uit.insert(pc)
+
+    def on_violation(self, store_pc: int) -> None:
+        self.uit.insert(store_pc)
+
+    def warm(self, pcs_with_ll, src_map) -> None:
+        """Pre-train from a warmup trace slice.
+
+        *pcs_with_ll* iterates (pc, srcs, dst, is_long_latency) tuples in
+        program order, mimicking rename+commit during cache warmup.
+        """
+        for pc, srcs, dst, is_ll in pcs_with_ll:
+            if self.uit.contains(pc):
+                for reg in srcs:
+                    producer_pc = self._producer_pc.get(reg)
+                    if producer_pc is not None:
+                        self.uit.insert(producer_pc)
+            if dst is not None:
+                self._producer_pc[dst] = pc
+            if is_ll:
+                self.uit.insert(pc)
+        # src_map kept for interface symmetry; unused here
+        del src_map
+
+
+class OracleClassifier:
+    """Perfect urgency knowledge from the trace pre-pass."""
+
+    def __init__(self, oracle: OracleInfo, granularity: str = "pc") -> None:
+        if granularity not in ("pc", "dynamic"):
+            raise ValueError("granularity must be 'pc' or 'dynamic'")
+        self.oracle = oracle
+        self.granularity = granularity
+        self.lookups = 0
+
+    def observe_rename(self, record: InFlightInst) -> bool:
+        self.lookups += 1
+        return self.oracle.is_urgent(record.seq, record.dyn.pc,
+                                     self.granularity)
+
+    def on_long_latency_commit(self, pc: int) -> None:
+        pass  # oracle already knows
+
+    def on_violation(self, store_pc: int) -> None:
+        pass

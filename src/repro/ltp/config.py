@@ -1,0 +1,142 @@
+"""LTP configuration.
+
+The defaults correspond to the paper's proposed implementation
+(Section 5): a Non-Urgent-only, 128-entry, 4-port queue with a 256-entry
+UIT, paired with the reduced IQ 32 / RF 96 core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+MODES = ("nu", "nr", "nr+nu")
+CLASSIFIERS = ("online", "oracle")
+LL_PREDICTORS = ("oracle", "twolevel")
+MONITORS = ("auto", "on", "off")
+GRANULARITIES = ("pc", "dynamic")
+
+
+@dataclass
+class LTPConfig:
+    """Configuration of the Long Term Parking mechanism."""
+
+    enabled: bool = False
+    #: which classes park: Non-Urgent only ("nu"), Non-Ready only ("nr"),
+    #: or both ("nr+nu")
+    mode: str = "nu"
+    #: queue capacity; None = unlimited (limit study)
+    entries: Optional[int] = 128
+    #: insertions/releases per cycle
+    ports: int = 4
+    #: "online" = UIT + iterative backward dependency analysis;
+    #: "oracle" = perfect classification from a trace pre-pass
+    classifier: str = "online"
+    #: oracle urgency granularity: per static PC (what the UIT converges
+    #: to) or per dynamic instruction
+    oracle_granularity: str = "pc"
+    uit_size: Optional[int] = 256
+    uit_ways: int = 4
+    #: long-latency load prediction: "oracle" or the Appendix's two-level
+    #: hit/miss predictor
+    ll_predictor: str = "oracle"
+    #: ticket CAM size for Non-Ready tracking; None = unlimited
+    tickets: Optional[int] = None
+    #: DRAM-timer power management: "auto" (Section 5.2), always "on",
+    #: or always "off"
+    monitor: str = "auto"
+    #: limit-study switches: also delay LQ/SQ allocation for parked ops
+    park_loads: bool = False
+    park_stores: bool = False
+    #: registers / LSQ entries reserved for LTP releases (Section 5.4)
+    release_reserve: int = 4
+    #: False turns the structure into a WIB-style slice buffer (Lebeck
+    #: et al. [1], Section 6 related work): parked instructions still
+    #: allocate their registers at rename, so only IQ pressure is
+    #: relieved — the comparison the paper draws against LTP
+    defer_registers: bool = True
+    #: Non-Urgent wakeup policy: the paper's ROB-position rule
+    #: ("rob-position", Section 3.2) or release-as-soon-as-possible
+    #: ("eager") — an ablation of the late-wakeup design choice
+    wakeup_policy: str = "rob-position"
+
+    def validate(self) -> "LTPConfig":
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        if self.classifier not in CLASSIFIERS:
+            raise ValueError(f"classifier must be one of {CLASSIFIERS}")
+        if self.ll_predictor not in LL_PREDICTORS:
+            raise ValueError(f"ll_predictor must be one of {LL_PREDICTORS}")
+        if self.monitor not in MONITORS:
+            raise ValueError(f"monitor must be one of {MONITORS}")
+        if self.oracle_granularity not in GRANULARITIES:
+            raise ValueError(
+                f"oracle_granularity must be one of {GRANULARITIES}")
+        if self.ports <= 0:
+            raise ValueError("ports must be positive")
+        if self.entries is not None and self.entries <= 0:
+            raise ValueError("entries must be positive or None")
+        if self.tickets is not None and self.tickets <= 0:
+            raise ValueError("tickets must be positive or None")
+        if self.release_reserve < 0:
+            raise ValueError("release_reserve must be >= 0")
+        if self.wakeup_policy not in ("rob-position", "eager"):
+            raise ValueError("wakeup_policy must be rob-position/eager")
+        return self
+
+    def but(self, **overrides) -> "LTPConfig":
+        """Return a copy with *overrides* applied (sweep helper)."""
+        return replace(self, **overrides)
+
+    @property
+    def parks_nu(self) -> bool:
+        return self.enabled and self.mode in ("nu", "nr+nu")
+
+    @property
+    def parks_nr(self) -> bool:
+        return self.enabled and self.mode in ("nr", "nr+nu")
+
+
+def no_ltp() -> LTPConfig:
+    """The baseline: LTP absent."""
+    return LTPConfig(enabled=False)
+
+
+def proposed_ltp() -> LTPConfig:
+    """The paper's proposed design (Section 5.7).
+
+    The two-level hit/miss predictor is used only to track long-latency
+    instructions for the ROB-position wakeup rule (the NU-only design
+    has no tickets).
+    """
+    return LTPConfig(enabled=True, mode="nu", entries=128, ports=4,
+                     classifier="online", uit_size=256,
+                     ll_predictor="twolevel").validate()
+
+
+def limit_ltp(mode: str = "nr+nu") -> LTPConfig:
+    """The limit study's ideal LTP: unlimited, oracle-classified.
+
+    Parked memory operations also delay their LQ/SQ allocation, which is
+    the idealisation Section 3.1 explores for the LQ/SQ sweeps.
+    """
+    return LTPConfig(enabled=True, mode=mode, entries=None, ports=1 << 20,
+                     classifier="oracle", oracle_granularity="dynamic",
+                     ll_predictor="oracle",
+                     uit_size=None, tickets=None,
+                     park_loads=True, park_stores=True).validate()
+
+
+def wib_ltp() -> LTPConfig:
+    """A WIB-style slice buffer built on the parking substrate.
+
+    Instructions depending on in-flight long-latency loads are drained
+    to a large side buffer and reinserted when the data returns — but,
+    unlike LTP, their registers were already allocated at rename, so
+    only the IQ benefits (Lebeck et al. [1]; the paper's Section 6
+    contrast).
+    """
+    return LTPConfig(enabled=True, mode="nr", entries=None, ports=8,
+                     classifier="oracle", ll_predictor="oracle",
+                     uit_size=None, tickets=None, monitor="on",
+                     defer_registers=False).validate()

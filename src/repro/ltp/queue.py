@@ -1,0 +1,100 @@
+"""The Long Term Parking structure itself.
+
+For the Non-Urgent-only design this is a plain FIFO queue — the paper's
+headline simplification.  For modes that park Non-Ready instructions the
+structure must release out of order, which the Appendix implements as a
+ticket CAM; here that shows up as an oldest-first *scan* for eligible
+entries instead of a head-only check.
+
+The queue keeps running counts of parked loads, stores and
+register-destination instructions so Figure 7's utilization statistics
+are O(1) per cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterator, List, Optional
+
+from repro.core.params import cap
+
+
+class LTPQueue:
+    """Bounded parking structure with FIFO or scan-based release."""
+
+    def __init__(self, entries: Optional[int], fifo_only: bool) -> None:
+        self.capacity = cap(entries)
+        self.fifo_only = fifo_only
+        self._entries: Deque = deque()
+        self.parked_loads = 0
+        self.parked_stores = 0
+        self.parked_with_dst = 0
+        self.total_parked = 0
+        self.total_released = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def push(self, record) -> None:
+        if self.full:
+            raise RuntimeError("LTP overflow")
+        self._entries.append(record)
+        record.parked = True
+        self.total_parked += 1
+        if record.dyn.is_load:
+            self.parked_loads += 1
+        elif record.dyn.is_store:
+            self.parked_stores += 1
+        if record.dyn.has_dst:
+            self.parked_with_dst += 1
+
+    def head(self):
+        return self._entries[0] if self._entries else None
+
+    def candidates(self, eligible: Callable[[object], bool],
+                   limit: int) -> List[object]:
+        """Return up to *limit* releasable records, oldest first.
+
+        FIFO mode checks only the head (a queue cannot release from the
+        middle); scan mode walks oldest-to-youngest like the Appendix's
+        ticket CAM select.
+        """
+        found: List[object] = []
+        if self.fifo_only:
+            head = self.head()
+            if head is not None and eligible(head):
+                found.append(head)
+            return found
+        for record in self._entries:
+            if len(found) >= limit:
+                break
+            if eligible(record):
+                found.append(record)
+        return found
+
+    def remove(self, record) -> None:
+        """Release *record* (must be present)."""
+        if self.fifo_only:
+            if not self._entries or self._entries[0] is not record:
+                raise RuntimeError("FIFO LTP can only release its head")
+            self._entries.popleft()
+        else:
+            try:
+                self._entries.remove(record)
+            except ValueError:
+                raise RuntimeError("record not parked") from None
+        record.parked = False
+        self.total_released += 1
+        if record.dyn.is_load:
+            self.parked_loads -= 1
+        elif record.dyn.is_store:
+            self.parked_stores -= 1
+        if record.dyn.has_dst:
+            self.parked_with_dst -= 1

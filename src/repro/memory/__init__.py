@@ -1,0 +1,23 @@
+"""Memory-system substrate: caches, MSHRs, prefetcher, DRAM, hierarchy."""
+
+from repro.memory.cache import BLOCK_BYTES, Cache, block_of
+from repro.memory.dram import DRAMChannel, DRAMTiming
+from repro.memory.hierarchy import (AccessResult, HierarchyStats, MemParams,
+                                    MemoryHierarchy)
+from repro.memory.mshr import Fill, MSHRFile
+from repro.memory.prefetcher import StridePrefetcher
+
+__all__ = [
+    "AccessResult",
+    "BLOCK_BYTES",
+    "Cache",
+    "DRAMChannel",
+    "DRAMTiming",
+    "Fill",
+    "HierarchyStats",
+    "MemParams",
+    "MemoryHierarchy",
+    "MSHRFile",
+    "StridePrefetcher",
+    "block_of",
+]

@@ -1,0 +1,100 @@
+"""Miss status holding registers (MSHRs) with same-block merging.
+
+One MSHR tracks one outstanding fill (block address, completion time,
+the level that will supply the data and the early tag-known time).  A
+demand access that misses on a block with an outstanding fill *merges*:
+it completes when the fill completes and consumes no extra MSHR.
+
+``capacity=None`` models the limit study's unlimited MSHRs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Fill:
+    """An outstanding fill for one block."""
+
+    block: int
+    complete_cycle: int
+    tag_known_cycle: int
+    level: str              # "l2" / "l3" / "dram" — where the data comes from
+    is_prefetch: bool = False
+
+
+class MSHRFile:
+    """Outstanding-fill tracking with optional capacity limit.
+
+    Prefetch fills are tracked for merging but never count against the
+    demand capacity (the model gives the prefetcher its own queue).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("MSHR capacity must be positive or None")
+        self.capacity = capacity
+        self._fills: Dict[int, Fill] = {}
+        self._expiry: List[tuple] = []  # heap of (complete_cycle, block)
+        self.demand_in_flight = 0
+        self.merges = 0
+        self.allocations = 0
+        self.full_rejections = 0
+
+    def expire(self, now: int) -> None:
+        """Release every fill that has completed by *now*."""
+        while self._expiry and self._expiry[0][0] <= now:
+            _, block = heapq.heappop(self._expiry)
+            fill = self._fills.get(block)
+            if fill is not None and fill.complete_cycle <= now:
+                del self._fills[block]
+                if not fill.is_prefetch:
+                    self.demand_in_flight -= 1
+
+    def outstanding(self, block: int) -> Optional[Fill]:
+        """Return the outstanding fill for *block*, if any (after expiry)."""
+        return self._fills.get(block)
+
+    def can_allocate(self) -> bool:
+        return self.capacity is None or self.demand_in_flight < self.capacity
+
+    def merge(self, block: int) -> Optional[Fill]:
+        """Record a merged access to an outstanding fill, if one exists."""
+        fill = self._fills.get(block)
+        if fill is not None:
+            self.merges += 1
+        return fill
+
+    def allocate(self, fill: Fill) -> None:
+        """Track a new outstanding fill.
+
+        Demand fills require a free MSHR (call :meth:`can_allocate` first);
+        violating that raises, because silently dropping a fill would break
+        the timing model.
+        """
+        if fill.block in self._fills:
+            existing = self._fills[fill.block]
+            # Keep the earlier completion; this only happens when a demand
+            # miss races a prefetch to the same block.
+            if fill.complete_cycle >= existing.complete_cycle:
+                return
+            if not existing.is_prefetch and fill.is_prefetch:
+                fill = Fill(fill.block, fill.complete_cycle,
+                            fill.tag_known_cycle, fill.level,
+                            is_prefetch=False)
+        if not fill.is_prefetch:
+            if not self.can_allocate():
+                raise RuntimeError("MSHR allocation with no free entry")
+            self.demand_in_flight += 1
+        self._fills[fill.block] = fill
+        self.allocations += 1
+        heapq.heappush(self._expiry, (fill.complete_cycle, fill.block))
+
+    def note_rejection(self) -> None:
+        self.full_rejections += 1
+
+    def __len__(self) -> int:
+        return len(self._fills)

@@ -1,0 +1,67 @@
+"""Workload registry and the two evaluation suites.
+
+The paper evaluates SPEC CPU2006 SimPoints split into MLP-sensitive and
+MLP-insensitive groups (Section 4.1); the registry below provides the
+synthetic stand-ins and the same two groupings.  ``astar`` and ``milc``
+map to the two individually-plotted checkpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads import kernels
+from repro.workloads.base import MLP_INSENSITIVE, MLP_SENSITIVE, Workload
+
+_FACTORIES: Dict[str, Callable[[], Workload]] = {
+    "indirect_fig2": kernels.indirect_fig2,
+    "ptrchase_astar": kernels.ptrchase_astar,
+    "sparse_gather": kernels.sparse_gather,
+    "hash_probe": kernels.hash_probe,
+    "lattice_milc": kernels.lattice_milc,
+    "stream_triad": kernels.stream_triad,
+    "compute_fp": kernels.compute_fp,
+    "compute_int": kernels.compute_int,
+    "small_ws_ring": kernels.small_ws_ring,
+    "stencil_small": kernels.stencil_small,
+    "branchy_compute": kernels.branchy_compute,
+    "btree_probe": kernels.btree_probe,
+    "spmv_csr": kernels.spmv_csr,
+    "memset_stream": kernels.memset_stream,
+    "blocked_mm": kernels.blocked_mm,
+}
+
+#: aliases matching the paper's individually-reported checkpoints
+ALIASES = {
+    "astar": "ptrchase_astar",
+    "milc": "lattice_milc",
+}
+
+
+def workload_names() -> List[str]:
+    return sorted(_FACTORIES)
+
+
+def get_workload(name: str) -> Workload:
+    """Build the named workload (accepts paper aliases)."""
+    name = ALIASES.get(name, name)
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {workload_names()}"
+        ) from None
+
+
+def mlp_sensitive_suite() -> List[Workload]:
+    suite = [factory() for factory in _FACTORIES.values()]
+    return [w for w in suite if w.category == MLP_SENSITIVE]
+
+
+def mlp_insensitive_suite() -> List[Workload]:
+    suite = [factory() for factory in _FACTORIES.values()]
+    return [w for w in suite if w.category == MLP_INSENSITIVE]
+
+
+def full_suite() -> List[Workload]:
+    return [factory() for factory in _FACTORIES.values()]

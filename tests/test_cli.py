@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_list_command():
+    code, text = run_cli(["list"])
+    assert code == 0
+    assert "indirect_fig2" in text
+    assert "mlp_sensitive" in text
+    assert "milc" in text
+
+
+def test_run_command_baseline():
+    code, text = run_cli(["run", "compute_int", "--warmup", "200",
+                          "--measure", "200", "--no-cache"])
+    assert code == 0
+    assert "CPI" in text
+    assert "compute_int" in text
+
+
+def test_run_command_with_ltp_and_overrides():
+    code, text = run_cli(["run", "sparse_gather", "--core", "small",
+                          "--ltp", "limit-nrnu", "--iq", "16",
+                          "--warmup", "400", "--measure", "300",
+                          "--no-cache"])
+    assert code == 0
+    assert "instructions parked" in text
+
+
+def test_run_command_alias():
+    code, text = run_cli(["run", "milc", "--warmup", "200",
+                          "--measure", "200", "--no-cache"])
+    assert code == 0
+    assert "milc" in text
+
+
+def test_classify_command():
+    code, text = run_cli(["classify", "indirect_fig2", "--insts", "1500"])
+    assert code == 0
+    assert "U+R" in text
+    assert "NU+NR" in text
+
+
+def test_experiment_command_table1():
+    code, text = run_cli(["experiment", "table1"])
+    assert code == 0
+    assert "3.4 GHz" in text
+
+
+def test_experiment_command_fig2():
+    code, text = run_cli(["experiment", "fig2"])
+    assert code == 0
+    assert "Figure 2" in text
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig99"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_unknown_workload_raises():
+    with pytest.raises(KeyError):
+        run_cli(["run", "not_a_workload", "--no-cache"])

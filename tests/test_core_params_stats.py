@@ -1,0 +1,99 @@
+"""Unit tests for core parameters and statistics containers."""
+
+import pytest
+
+from repro.core.params import (CoreParams, UNLIMITED, baseline_params, cap,
+                               ltp_params)
+from repro.core.stats import Occupancy, SimStats
+
+
+def test_table1_defaults():
+    params = baseline_params()
+    assert params.rob_size == 256
+    assert params.iq_size == 64
+    assert params.lq_size == 64
+    assert params.sq_size == 32
+    assert params.int_regs == 128
+    assert params.fp_regs == 128
+    assert params.issue_width == 6
+    assert params.fetch_width == 8
+
+
+def test_ltp_core():
+    params = ltp_params()
+    assert params.iq_size == 32
+    assert params.int_regs == 96
+
+
+def test_cap():
+    assert cap(None) == UNLIMITED
+    assert cap(5) == 5
+
+
+def test_but_override():
+    params = baseline_params().but(iq_size=16)
+    assert params.iq_size == 16
+    assert baseline_params().iq_size == 64
+
+
+def test_validation_rejects_bad_width():
+    with pytest.raises(ValueError):
+        CoreParams(issue_width=0).validate()
+
+
+def test_validation_rejects_bad_size():
+    with pytest.raises(ValueError):
+        CoreParams(iq_size=-1).validate()
+
+
+def test_describe_mentions_table1_rows():
+    text = baseline_params().describe()
+    assert "3.4 GHz" in text
+    assert "256 / 64 / 64 / 32" in text
+    assert "Stride prefetcher, degree 4" in text
+
+
+def test_describe_unlimited():
+    text = CoreParams(iq_size=None).describe()
+    assert "unlimited" in text
+
+
+def test_occupancy_average():
+    occ = Occupancy()
+    occ.add(10, cycles=5)
+    occ.add(0, cycles=5)
+    assert occ.average(10) == 5.0
+    assert occ.peak == 10
+
+
+def test_stats_derived_metrics():
+    stats = SimStats()
+    stats.cycles = 200
+    stats.committed = 100
+    assert stats.ipc == 0.5
+    assert stats.cpi == 2.0
+
+
+def test_stats_accumulate():
+    stats = SimStats()
+    stats.accumulate({"iq": 4, "rob": 8}, cycles=10)
+    stats.cycles = 10
+    assert stats.average_occupancy("iq") == 4.0
+    assert stats.average_occupancy("rob") == 8.0
+
+
+def test_stats_as_dict_contains_keys():
+    stats = SimStats()
+    stats.cycles = 10
+    stats.committed = 5
+    data = stats.as_dict()
+    for key in ("cpi", "ipc", "avg_iq", "avg_ltp", "ltp_enabled_fraction",
+                "peak_rob"):
+        assert key in data
+
+
+def test_stats_zero_safe():
+    stats = SimStats()
+    assert stats.ipc == 0.0
+    assert stats.cpi == 0.0
+    assert stats.ltp_enabled_fraction == 0.0

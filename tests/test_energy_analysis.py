@@ -1,0 +1,147 @@
+"""Tests for the energy/ED2P model and the analysis helpers."""
+
+import pytest
+
+from repro.analysis.aggregate import (arithmetic_mean, average_dicts,
+                                      geometric_mean,
+                                      mean_relative_performance)
+from repro.analysis.mlp_class import SensitivityInputs, classify
+from repro.core.params import baseline_params, ltp_params
+from repro.energy.model import (compute_energy, relative_ed2p,
+                                relative_performance)
+from repro.ltp.config import no_ltp, proposed_ltp
+
+
+def fake_result(cycles=1000, avg_iq=30.0, avg_rf_int=60.0, avg_rf_fp=60.0,
+                avg_ltp=0.0, enabled=0.0):
+    return {
+        "cycles": cycles,
+        "avg_iq": avg_iq,
+        "avg_rf_int": avg_rf_int,
+        "avg_rf_fp": avg_rf_fp,
+        "avg_ltp": avg_ltp,
+        "ltp_enabled_fraction": enabled,
+    }
+
+
+def test_smaller_structures_use_less_energy():
+    base = compute_energy(baseline_params(), no_ltp(), fake_result())
+    small = compute_energy(ltp_params(), no_ltp(), fake_result())
+    assert small.iq < base.iq
+    assert small.rf < base.rf
+    assert small.total < base.total
+
+
+def test_ltp_adds_structure_energy():
+    without = compute_energy(ltp_params(), no_ltp(), fake_result())
+    with_ltp = compute_energy(ltp_params(), proposed_ltp(),
+                              fake_result(avg_ltp=40.0, enabled=1.0))
+    assert with_ltp.ltp > 0
+    assert with_ltp.uit > 0
+    assert with_ltp.total > without.total
+
+
+def test_power_gating_reduces_ltp_energy():
+    on = compute_energy(ltp_params(), proposed_ltp(),
+                        fake_result(avg_ltp=40.0, enabled=1.0))
+    off = compute_energy(ltp_params(), proposed_ltp(),
+                         fake_result(avg_ltp=0.0, enabled=0.0))
+    assert off.ltp < on.ltp / 3
+
+
+def test_ltp_config_beats_baseline_ed2p_at_equal_performance():
+    """The core claim of Figure 10: IQ32/RF96 + LTP at ~equal cycles has
+    far lower IQ/RF ED2P than the IQ64/RF128 baseline."""
+    base = compute_energy(baseline_params(), no_ltp(),
+                          fake_result(cycles=1000))
+    ltp = compute_energy(ltp_params(), proposed_ltp(),
+                         fake_result(cycles=1010, avg_ltp=40.0,
+                                     enabled=0.95))
+    delta = relative_ed2p(ltp, base)
+    assert -55 < delta < -20
+
+
+def test_ed2p_penalises_slowdown_cubically():
+    """With constant per-cycle power, E ~ D, so ED2P ~ D^3."""
+    base = compute_energy(baseline_params(), no_ltp(),
+                          fake_result(cycles=1000))
+    slow = compute_energy(baseline_params(), no_ltp(),
+                          fake_result(cycles=2000))
+    assert relative_ed2p(slow, base) == pytest.approx(700.0)
+
+
+def test_relative_performance_sign():
+    assert relative_performance(900, 1000) > 0    # faster than base
+    assert relative_performance(1100, 1000) < 0   # slower than base
+    assert relative_performance(1000, 1000) == 0.0
+
+
+def test_energy_breakdown_total():
+    breakdown = compute_energy(ltp_params(), proposed_ltp(),
+                               fake_result(avg_ltp=10, enabled=0.5))
+    assert breakdown.total == pytest.approx(
+        breakdown.iq + breakdown.rf + breakdown.ltp + breakdown.uit)
+
+
+# ------------------------------------------------------------ analysis
+def test_means():
+    assert arithmetic_mean([1, 2, 3]) == 2.0
+    assert geometric_mean([1, 4]) == 2.0
+    with pytest.raises(ValueError):
+        arithmetic_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([0, 1])
+
+
+def test_mean_relative_performance():
+    # both runs 10% faster than their baselines -> +10%
+    value = mean_relative_performance([90, 180], [99, 198])
+    assert value == pytest.approx(10.0)
+    with pytest.raises(ValueError):
+        mean_relative_performance([1], [1, 2])
+
+
+def test_average_dicts():
+    merged = average_dicts([{"a": 1.0, "b": 2.0}, {"a": 3.0, "b": 4.0}])
+    assert merged == {"a": 2.0, "b": 3.0}
+    with pytest.raises(ValueError):
+        average_dicts([{"a": 1}, {"b": 2}])
+
+
+def test_sensitivity_rule_positive():
+    verdict = classify(SensitivityInputs(
+        cycles_small_iq=1200, cycles_large_iq=1000,
+        outstanding_small_iq=5.0, outstanding_large_iq=7.0,
+        avg_load_latency=50.0))
+    assert verdict.sensitive
+    assert verdict.speedup_pct == pytest.approx(20.0)
+    assert verdict.outstanding_growth_pct == pytest.approx(40.0)
+
+
+def test_sensitivity_rule_requires_all_three():
+    # fast caches: latency below L2 -> insensitive even with speedup
+    verdict = classify(SensitivityInputs(
+        cycles_small_iq=1200, cycles_large_iq=1000,
+        outstanding_small_iq=5.0, outstanding_large_iq=7.0,
+        avg_load_latency=6.0))
+    assert not verdict.sensitive
+    # no speedup
+    verdict = classify(SensitivityInputs(
+        cycles_small_iq=1010, cycles_large_iq=1000,
+        outstanding_small_iq=5.0, outstanding_large_iq=7.0,
+        avg_load_latency=50.0))
+    assert not verdict.sensitive
+    # no outstanding growth
+    verdict = classify(SensitivityInputs(
+        cycles_small_iq=1200, cycles_large_iq=1000,
+        outstanding_small_iq=5.0, outstanding_large_iq=5.2,
+        avg_load_latency=50.0))
+    assert not verdict.sensitive
+
+
+def test_sensitivity_rejects_bad_input():
+    with pytest.raises(ValueError):
+        classify(SensitivityInputs(
+            cycles_small_iq=0, cycles_large_iq=1000,
+            outstanding_small_iq=1, outstanding_large_iq=1,
+            avg_load_latency=10))

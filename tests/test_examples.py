@@ -1,0 +1,59 @@
+"""Every example script must run end to end (at reduced budgets)."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+SCRIPTS = sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+
+def run_example(name, *args):
+    env = dict(os.environ)
+    env["REPRO_WARMUP_INSTS"] = "800"
+    env["REPRO_MEASURE_INSTS"] = "400"
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600, env=env)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_exist():
+    assert "quickstart.py" in SCRIPTS
+    assert len(SCRIPTS) >= 5
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "sparse_gather")
+    assert "LTP quickstart" in out
+    assert "sparse_gather" in out
+
+
+def test_classification_walkthrough():
+    out = run_example("classification_walkthrough.py")
+    assert "U+R" in out
+    assert "NU+NR" in out
+    assert "UIT learned" in out
+
+
+def test_limit_study_mini():
+    out = run_example("limit_study_mini.py", "sparse_gather", "iq")
+    assert "IQ sweep" in out
+    assert "no-ltp" in out
+
+
+def test_custom_kernel():
+    out = run_example("custom_kernel.py")
+    assert "CPI" in out
+    assert "parked" in out
+
+
+def test_energy_report():
+    out = run_example("energy_report.py", "sparse_gather")
+    assert "ED2P" in out
+    assert "E(IQ)" in out

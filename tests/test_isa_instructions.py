@@ -1,0 +1,94 @@
+"""Unit tests for static instruction construction and validation."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, InstructionError, OpClass
+
+
+def test_simple_add():
+    inst = Instruction(opcode="add", dst="r1", srcs=("r2", "r3"))
+    assert inst.op_class is OpClass.INT_ALU
+    assert not inst.is_mem
+    assert inst.writes_int and not inst.writes_fp
+
+
+def test_load_flags():
+    inst = Instruction(opcode="ld", dst="r1", srcs=("r2",), imm=8)
+    assert inst.is_load and inst.is_mem and not inst.is_store
+
+
+def test_store_flags():
+    inst = Instruction(opcode="st", srcs=("r1", "r2"), imm=0)
+    assert inst.is_store and inst.is_mem and not inst.is_load
+    assert inst.dst is None
+
+
+def test_fp_load_writes_fp():
+    inst = Instruction(opcode="fld", dst="f3", srcs=("r2",))
+    assert inst.writes_fp and not inst.writes_int
+
+
+def test_branch_requires_target_or_label():
+    with pytest.raises(InstructionError):
+        Instruction(opcode="beq", srcs=("r1", "r2"))
+    Instruction(opcode="beq", srcs=("r1", "r2"), label="loop")
+    Instruction(opcode="beq", srcs=("r1", "r2"), target=0)
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(InstructionError):
+        Instruction(opcode="bogus", dst="r1", srcs=())
+
+
+def test_wrong_source_count_rejected():
+    with pytest.raises(InstructionError):
+        Instruction(opcode="add", dst="r1", srcs=("r2",))
+
+
+def test_missing_destination_rejected():
+    with pytest.raises(InstructionError):
+        Instruction(opcode="add", srcs=("r1", "r2"))
+
+
+def test_unexpected_destination_rejected():
+    with pytest.raises(InstructionError):
+        Instruction(opcode="st", dst="r1", srcs=("r2", "r3"))
+
+
+def test_invalid_register_rejected():
+    with pytest.raises(Exception):
+        Instruction(opcode="add", dst="r99", srcs=("r1", "r2"))
+
+
+def test_with_target():
+    inst = Instruction(opcode="bne", srcs=("r1", "r2"), label="top")
+    resolved = inst.with_target(7)
+    assert resolved.target == 7
+    assert resolved.label == "top"
+    assert inst.target is None  # original unchanged (frozen)
+
+
+def test_long_fixed_latency_classes():
+    assert OpClass.INT_DIV.is_long_fixed_latency
+    assert OpClass.FP_DIV.is_long_fixed_latency
+    assert not OpClass.INT_ALU.is_long_fixed_latency
+    assert not OpClass.LOAD.is_long_fixed_latency
+
+
+def test_control_flags():
+    branch = Instruction(opcode="bnez", srcs=("r1",), target=0)
+    jump = Instruction(opcode="j", target=0)
+    assert branch.is_branch and branch.is_control
+    assert jump.is_control and not jump.is_branch
+
+
+def test_render_roundtrips_basic_shape():
+    inst = Instruction(opcode="addi", dst="r1", srcs=("r2",), imm=-4)
+    text = inst.render()
+    assert "addi" in text and "r1" in text and "-4" in text
+
+
+def test_halt_is_nop_class():
+    inst = Instruction(opcode="halt")
+    assert inst.is_halt
+    assert inst.op_class is OpClass.NOP

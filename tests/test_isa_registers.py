@@ -1,0 +1,63 @@
+"""Unit tests for the register namespace."""
+
+import pytest
+
+from repro.isa import registers
+
+
+def test_int_register_names():
+    assert registers.INT_REGS[0] == "r0"
+    assert registers.INT_REGS[-1] == "r31"
+    assert len(registers.INT_REGS) == 32
+
+
+def test_fp_register_names():
+    assert registers.FP_REGS[0] == "f0"
+    assert registers.FP_REGS[-1] == "f31"
+    assert len(registers.FP_REGS) == 32
+
+
+@pytest.mark.parametrize("name", ["r0", "r31", "f0", "f31", "r15"])
+def test_is_register_accepts_valid(name):
+    assert registers.is_register(name)
+
+
+@pytest.mark.parametrize("name", ["r32", "f32", "x1", "r-1", "", "r",
+                                  "R0", "f 1", "r01x"])
+def test_is_register_rejects_invalid(name):
+    assert not registers.is_register(name)
+
+
+def test_reg_class():
+    assert registers.reg_class("r7") == "int"
+    assert registers.reg_class("f7") == "fp"
+
+
+def test_reg_class_raises_on_bad_name():
+    with pytest.raises(registers.RegisterError):
+        registers.reg_class("q3")
+
+
+def test_reg_index():
+    assert registers.reg_index("r13") == 13
+    assert registers.reg_index("f5") == 5
+
+
+def test_reg_index_raises():
+    with pytest.raises(registers.RegisterError):
+        registers.reg_index("r99")
+
+
+def test_validate_roundtrip():
+    assert registers.validate("r3") == "r3"
+    with pytest.raises(registers.RegisterError):
+        registers.validate("nope")
+
+
+def test_is_int_and_fp_disjoint():
+    for name in registers.INT_REGS:
+        assert registers.is_int_register(name)
+        assert not registers.is_fp_register(name)
+    for name in registers.FP_REGS:
+        assert registers.is_fp_register(name)
+        assert not registers.is_int_register(name)

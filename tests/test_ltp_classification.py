@@ -1,0 +1,143 @@
+"""Unit tests for oracle and online (UIT) classification."""
+
+from repro.isa.assembler import assemble
+from repro.isa.executor import Executor, Memory
+from repro.ltp.classifier import OnlineClassifier, OracleClassifier
+from repro.ltp.config import LTPConfig
+from repro.ltp.oracle import annotate_trace
+from repro.memory.hierarchy import MemParams
+
+from tests.conftest import make_trace
+
+
+def fig2_like_trace(iters=40):
+    """A miniature B[A[j]] loop with a guaranteed-missing B access."""
+    # A is sequential and warm; B accesses stride by 1 MB so every B
+    # access is a cold DRAM miss.
+    return make_trace("""
+        li  r1, 0x10000000      # base A (sequential)
+        li  r2, 0x40000000      # base B
+        li  r3, 0
+        li  r7, %d
+    loop:
+        ldx  r4, r1, r3         # A[j]: warm after first touches
+        slli r5, r4, 20         # spread B accesses 1 MB apart
+        add  r5, r2, r5
+        ld   r6, r5, 0          # B[..]: always cold -> long latency
+        add  r8, r6, r6         # consumer of the miss (NU + NR)
+        addi r3, r3, 1
+        blt  r3, r7, loop
+        halt
+    """ % iters, max_insts=8 * iters + 10,
+        memory={0x10000000 + 8 * i: i for i in range(iters + 1)})
+
+
+def test_oracle_marks_miss_loads_long_latency():
+    trace = fig2_like_trace()
+    oracle = annotate_trace(trace)
+    ll_pcs = {trace[i].pc for i in range(len(trace)) if oracle.long_latency[i]}
+    program_pc_of_b_load = 7  # 'ld r6, r5, 0'
+    assert program_pc_of_b_load in ll_pcs
+
+
+def test_oracle_urgent_closure():
+    """Urgent must be closed under the ancestor relation."""
+    trace = fig2_like_trace()
+    oracle = annotate_trace(trace)
+    for i, dyn in enumerate(trace):
+        if oracle.urgent[i]:
+            for producer in dyn.src_producers:
+                if producer >= 0:
+                    assert oracle.urgent[producer], (
+                        f"producer {producer} of urgent {i} not urgent")
+
+
+def test_oracle_non_ready_closure():
+    """Descendants of a long-latency op within the window are non-ready."""
+    trace = fig2_like_trace()
+    oracle = annotate_trace(trace, window=10_000)
+    for i, dyn in enumerate(trace):
+        for producer in dyn.src_producers:
+            if producer >= 0 and (oracle.long_latency[producer]
+                                  or oracle.non_ready[producer]):
+                assert oracle.non_ready[i]
+
+
+def test_oracle_window_limits_non_ready():
+    trace = fig2_like_trace()
+    wide = annotate_trace(trace, window=100_000)
+    narrow = annotate_trace(trace, window=1)
+    assert sum(narrow.non_ready) <= sum(wide.non_ready)
+
+
+def test_oracle_classifies_address_slice_urgent():
+    trace = fig2_like_trace()
+    oracle = annotate_trace(trace)
+    # slli/add computing the B address must be urgent (ancestors of miss)
+    assert 5 in oracle.urgent_pcs     # slli r5, r4, 20
+    assert 6 in oracle.urgent_pcs     # add r5, r2, r5
+    # the consumer of the miss result must not be urgent
+    assert 8 not in oracle.urgent_pcs
+
+
+def test_oracle_summary():
+    trace = fig2_like_trace()
+    oracle = annotate_trace(trace)
+    summary = oracle.summary()
+    assert summary["instructions"] == len(trace)
+    assert 0 < summary["urgent_fraction"] < 1
+
+
+def test_oracle_classifier_granularities():
+    trace = fig2_like_trace()
+    oracle = annotate_trace(trace)
+    from repro.core.inflight import InFlightInst
+    record = InFlightInst(trace[20])
+    pc_level = OracleClassifier(oracle, granularity="pc")
+    dyn_level = OracleClassifier(oracle, granularity="dynamic")
+    assert pc_level.observe_rename(record) == (trace[20].pc
+                                               in oracle.urgent_pcs)
+    assert dyn_level.observe_rename(record) == oracle.urgent[20]
+
+
+def test_online_classifier_learns_backwards():
+    """Iterative backward analysis: the address slice becomes urgent
+    after a few iterations once the LL load PC is learned."""
+    trace = fig2_like_trace(iters=60)
+    oracle = annotate_trace(trace)
+    online = OnlineClassifier(uit_size=None)
+    from repro.core.inflight import InFlightInst
+    for i, dyn in enumerate(trace):
+        record = InFlightInst(dyn)
+        online.observe_rename(record)
+        # commit-time learning of actual long-latency loads
+        if oracle.long_latency[i]:
+            online.on_long_latency_commit(dyn.pc)
+    # after 60 iterations the full urgent slice must be in the UIT
+    for pc in (4, 5, 6, 7):   # ldx A, slli, add, ld B
+        assert online.uit.contains(pc), f"pc {pc} not learned"
+    # the miss consumer must not be urgent
+    assert not online.uit.contains(8)
+
+
+def test_online_classifier_violation_hook():
+    online = OnlineClassifier(uit_size=64)
+    online.on_violation(store_pc=33)
+    assert online.uit.contains(33)
+
+
+def test_online_matches_oracle_on_steady_loop():
+    """On a steady-state loop the learned urgent PC set converges to the
+    oracle's (modulo the LL loads themselves, which both include)."""
+    trace = fig2_like_trace(iters=80)
+    oracle = annotate_trace(trace)
+    online = OnlineClassifier(uit_size=None)
+    from repro.core.inflight import InFlightInst
+    for i, dyn in enumerate(trace):
+        online.observe_rename(InFlightInst(dyn))
+        if oracle.long_latency[i]:
+            online.on_long_latency_commit(dyn.pc)
+    loop_pcs = {dyn.pc for dyn in trace[10:-2]}
+    learned = {pc for pc in loop_pcs if online.uit.contains(pc)}
+    expected = {pc for pc in loop_pcs if pc in oracle.urgent_pcs}
+    assert learned == expected

@@ -1,0 +1,89 @@
+"""Unit tests for the set-associative LRU cache."""
+
+import pytest
+
+from repro.memory.cache import BLOCK_BYTES, Cache, block_of
+
+
+def test_block_of():
+    assert block_of(0) == 0
+    assert block_of(63) == 0
+    assert block_of(64) == 1
+    assert block_of(0x1000) == 64
+
+
+def test_miss_then_hit():
+    cache = Cache("t", size_bytes=1024, ways=2)
+    assert not cache.lookup(5)
+    cache.insert(5)
+    assert cache.lookup(5)
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_geometry():
+    cache = Cache("t", size_bytes=32 * 1024, ways=8)
+    assert cache.num_sets == 64
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        Cache("t", size_bytes=1000, ways=3)
+
+
+def test_lru_eviction_order():
+    cache = Cache("t", size_bytes=2 * BLOCK_BYTES, ways=2)  # one set
+    cache.insert(0)
+    cache.insert(1)
+    cache.lookup(0)            # 0 is now MRU
+    victim = cache.insert(2)   # evicts LRU = 1
+    assert victim == 1
+    assert cache.probe(0) and cache.probe(2) and not cache.probe(1)
+
+
+def test_insert_existing_updates_lru():
+    cache = Cache("t", size_bytes=2 * BLOCK_BYTES, ways=2)
+    cache.insert(0)
+    cache.insert(1)
+    cache.insert(0)            # refresh 0
+    victim = cache.insert(2)
+    assert victim == 1
+
+
+def test_set_isolation():
+    cache = Cache("t", size_bytes=4 * BLOCK_BYTES, ways=1)  # 4 sets
+    cache.insert(0)
+    cache.insert(1)
+    cache.insert(2)
+    cache.insert(3)
+    # all map to different sets: no evictions
+    assert cache.occupancy() == 4
+    victim = cache.insert(4)   # maps to set 0, evicts block 0
+    assert victim == 0
+
+
+def test_probe_does_not_count_stats():
+    cache = Cache("t", size_bytes=1024, ways=2)
+    cache.probe(1)
+    assert cache.accesses == 0
+
+
+def test_invalidate():
+    cache = Cache("t", size_bytes=1024, ways=2)
+    cache.insert(9)
+    assert cache.invalidate(9)
+    assert not cache.invalidate(9)
+    assert not cache.probe(9)
+
+
+def test_occupancy_bounded_by_ways():
+    cache = Cache("t", size_bytes=2 * BLOCK_BYTES, ways=2)  # one set
+    for block in range(10):
+        cache.insert(block)
+    assert cache.occupancy() == 2
+
+
+def test_reset_stats():
+    cache = Cache("t", size_bytes=1024, ways=2)
+    cache.lookup(1)
+    cache.reset_stats()
+    assert cache.hits == 0 and cache.misses == 0

@@ -1,0 +1,52 @@
+"""Unit tests for the DRAM channel model."""
+
+import pytest
+
+from repro.memory.dram import DRAMChannel
+
+
+def test_basic_latency():
+    dram = DRAMChannel(latency=190, issue_interval=6)
+    timing = dram.schedule(100)
+    assert timing.start_cycle == 100
+    assert timing.complete_cycle == 290
+
+
+def test_bandwidth_spacing():
+    dram = DRAMChannel(latency=190, issue_interval=6)
+    first = dram.schedule(0)
+    second = dram.schedule(0)
+    third = dram.schedule(0)
+    assert second.start_cycle == first.start_cycle + 6
+    assert third.start_cycle == second.start_cycle + 6
+
+
+def test_idle_channel_resets_spacing():
+    dram = DRAMChannel(latency=100, issue_interval=6)
+    dram.schedule(0)
+    late = dram.schedule(500)
+    assert late.start_cycle == 500
+
+
+def test_early_wakeup_lead():
+    dram = DRAMChannel(latency=190, issue_interval=6, wakeup_lead=8)
+    timing = dram.schedule(0)
+    assert timing.tag_known_cycle == timing.complete_cycle - 8
+
+
+def test_queue_delay_statistics():
+    dram = DRAMChannel(latency=100, issue_interval=10)
+    dram.schedule(0)
+    dram.schedule(0)   # waits 10
+    dram.schedule(0)   # waits 20
+    assert dram.accesses == 3
+    assert dram.average_queue_delay == pytest.approx(10.0)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        DRAMChannel(latency=0)
+    with pytest.raises(ValueError):
+        DRAMChannel(latency=100, issue_interval=0)
+    with pytest.raises(ValueError):
+        DRAMChannel(latency=100, wakeup_lead=101)

@@ -1,0 +1,76 @@
+"""Unit tests for MSHR tracking and merging."""
+
+import pytest
+
+from repro.memory.mshr import Fill, MSHRFile
+
+
+def make_fill(block=1, complete=100, level="dram", prefetch=False):
+    return Fill(block=block, complete_cycle=complete,
+                tag_known_cycle=complete - 8, level=level,
+                is_prefetch=prefetch)
+
+
+def test_allocate_and_expire():
+    mshrs = MSHRFile(capacity=2)
+    mshrs.allocate(make_fill(block=1, complete=50))
+    assert mshrs.demand_in_flight == 1
+    mshrs.expire(49)
+    assert mshrs.outstanding(1) is not None
+    mshrs.expire(50)
+    assert mshrs.outstanding(1) is None
+    assert mshrs.demand_in_flight == 0
+
+
+def test_capacity_limit():
+    mshrs = MSHRFile(capacity=1)
+    mshrs.allocate(make_fill(block=1))
+    assert not mshrs.can_allocate()
+    with pytest.raises(RuntimeError):
+        mshrs.allocate(make_fill(block=2))
+
+
+def test_unlimited_capacity():
+    mshrs = MSHRFile(capacity=None)
+    for block in range(100):
+        mshrs.allocate(make_fill(block=block))
+    assert mshrs.can_allocate()
+
+
+def test_merge_counts():
+    mshrs = MSHRFile(capacity=4)
+    mshrs.allocate(make_fill(block=7, complete=80))
+    fill = mshrs.merge(7)
+    assert fill is not None and fill.complete_cycle == 80
+    assert mshrs.merges == 1
+    assert mshrs.merge(8) is None
+
+
+def test_prefetch_does_not_consume_demand_capacity():
+    mshrs = MSHRFile(capacity=1)
+    mshrs.allocate(make_fill(block=1, prefetch=True))
+    assert mshrs.can_allocate()
+    mshrs.allocate(make_fill(block=2))
+    assert not mshrs.can_allocate()
+
+
+def test_demand_upgrade_of_prefetch_keeps_earlier_completion():
+    mshrs = MSHRFile(capacity=2)
+    mshrs.allocate(make_fill(block=3, complete=100, prefetch=True))
+    # a later demand fill to the same block with later completion: keep
+    mshrs.allocate(make_fill(block=3, complete=120))
+    assert mshrs.outstanding(3).complete_cycle == 100
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        MSHRFile(capacity=0)
+
+
+def test_expiry_order_mixed():
+    mshrs = MSHRFile()
+    mshrs.allocate(make_fill(block=1, complete=30))
+    mshrs.allocate(make_fill(block=2, complete=10))
+    mshrs.expire(20)
+    assert mshrs.outstanding(2) is None
+    assert mshrs.outstanding(1) is not None

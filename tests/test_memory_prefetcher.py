@@ -1,0 +1,84 @@
+"""Unit tests for the stride/stream prefetcher."""
+
+from repro.memory.cache import BLOCK_BYTES
+
+from repro.memory.prefetcher import StridePrefetcher
+
+
+def feed_blocks(pf, pc, blocks):
+    issued = []
+    for block in blocks:
+        issued.extend(pf.observe(pc, block * BLOCK_BYTES))
+    return issued
+
+
+def test_ascending_stream_detected():
+    pf = StridePrefetcher(degree=4)
+    issued = feed_blocks(pf, 1, range(10))
+    assert issued, "stream should trigger prefetches"
+    # prefetches run ahead of the demand blocks
+    assert max(issued) >= 13
+
+
+def test_descending_stream_detected():
+    pf = StridePrefetcher(degree=4)
+    issued = feed_blocks(pf, 1, range(100, 80, -1))
+    assert issued
+    assert min(issued) < 80 + 4
+
+
+def test_no_prefetch_on_random_pattern():
+    pf = StridePrefetcher(degree=4)
+    issued = feed_blocks(pf, 1, [5, 900, 13, 512, 77, 1024, 3, 640])
+    assert issued == []
+
+
+def test_reorder_robustness():
+    """A window-scrambled ascending stream must still be covered."""
+    pf = StridePrefetcher(degree=4)
+    scrambled = [1, 0, 2, 4, 3, 5, 7, 6, 8, 10, 9, 11, 13, 12, 14]
+    issued = feed_blocks(pf, 1, scrambled)
+    assert issued
+    assert max(issued) >= 16
+
+
+def test_degree_zero_disables():
+    pf = StridePrefetcher(degree=0)
+    assert feed_blocks(pf, 1, range(20)) == []
+
+
+def test_per_pc_isolation():
+    pf = StridePrefetcher(degree=4)
+    for i in range(8):
+        pf.observe(1, i * BLOCK_BYTES)
+        pf.observe(2, (1000 - i) * BLOCK_BYTES)
+    up = pf.observe(1, 8 * BLOCK_BYTES)
+    down = pf.observe(2, (1000 - 8) * BLOCK_BYTES)
+    assert all(b > 8 for b in up)
+    assert all(b < 992 for b in down)
+
+
+def test_frontier_avoids_duplicate_issues():
+    pf = StridePrefetcher(degree=4)
+    total = feed_blocks(pf, 1, range(50))
+    assert len(total) == len(set(total))
+
+
+def test_never_negative_blocks():
+    pf = StridePrefetcher(degree=4)
+    issued = feed_blocks(pf, 1, [5, 4, 3, 2, 1, 0])
+    assert all(b >= 0 for b in issued)
+
+
+def test_table_capacity_bounded():
+    pf = StridePrefetcher(degree=4, table_size=4)
+    for pc in range(20):
+        pf.observe(pc, 0)
+    assert len(pf._table) <= 4
+
+
+def test_counters():
+    pf = StridePrefetcher(degree=2)
+    feed_blocks(pf, 3, range(10))
+    assert pf.trains == 10
+    assert pf.issued > 0

@@ -1,0 +1,151 @@
+"""Pipeline tests: branch handling and resource-limit behaviour."""
+
+from repro.core.params import CoreParams
+from repro.core.pipeline import Pipeline
+
+from tests.conftest import make_trace
+
+
+def run(asm, max_insts=500, params=None, memory=None, int_regs=None):
+    trace = make_trace(asm, max_insts=max_insts, memory=memory,
+                       int_regs=int_regs)
+    pipeline = Pipeline(trace, params=params or CoreParams())
+    return pipeline, pipeline.run()
+
+
+def test_predictable_loop_has_no_mispredicts():
+    _, stats = run("""
+        li r1, 0
+        li r2, 100
+    loop:
+        addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+    """, max_insts=400)
+    # the final not-taken exit may mispredict; the body must not
+    assert stats.branch_mispredicts <= 2
+
+
+def test_random_branches_mispredict_and_cost_cycles():
+    # branch direction depends on a pseudo-random bit
+    asm = """
+        li r1, 0
+        li r2, 60
+        li r3, 1103515245
+        li r4, 12345
+        li r6, 1
+    loop:
+        mul r5, r7, r3
+        add r7, r5, r4
+        srli r5, r7, 16
+        and  r5, r5, r6
+        beqz r5, skip
+        addi r8, r8, 1
+    skip:
+        addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+    """
+    _, stats = run(asm, max_insts=600)
+    assert stats.branch_mispredicts > 5
+
+
+def test_mispredict_penalty_slows_execution():
+    body = """
+        mul r5, r7, r3
+        add r7, r5, r4
+        srli r5, r7, 16
+        and  r5, r5, r6
+        beqz r5, skip
+        addi r8, r8, 1
+    skip:
+        addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+    """
+    asm = ("li r1, 0\nli r2, 60\nli r3, 1103515245\nli r4, 12345\n"
+           "li r6, 1\nloop:\n" + body)
+    fast_params = CoreParams(mispredict_penalty=0)
+    slow_params = CoreParams(mispredict_penalty=40)
+    p1, stats_fast = run(asm, params=fast_params, max_insts=600)
+    p2, stats_slow = run(asm, params=slow_params, max_insts=600)
+    assert stats_slow.cycles > stats_fast.cycles
+
+
+def test_rob_limits_window():
+    """A tiny ROB caps how many misses can overlap."""
+    lines = ["li r1, 0x100000", "li r9, 0", "li r10, 10", "loop:"]
+    for i in range(6):
+        lines.append(f"ld r{2 + i}, r1, 0")
+        lines.append("addi r1, r1, 0x100000")
+    lines += ["addi r9, r9, 1", "blt r9, r10, loop", "halt"]
+    asm = "\n".join(lines)
+    big = CoreParams(rob_size=256, iq_size=None, lq_size=None, sq_size=None)
+    small = CoreParams(rob_size=8, iq_size=None, lq_size=None, sq_size=None)
+    big.mem.mshrs = None
+    small.mem.mshrs = None
+    _, stats_big = run(asm, params=big)
+    _, stats_small = run(asm, params=small)
+    assert stats_small.cycles > stats_big.cycles * 1.5
+
+
+def test_lq_limits_loads_in_flight():
+    lines = ["li r1, 0x100000", "li r9, 0", "li r10, 12", "loop:"]
+    for i in range(4):
+        lines.append(f"ld r{2 + i}, r1, 0")
+        lines.append("addi r1, r1, 0x100000")
+    lines += ["addi r9, r9, 1", "blt r9, r10, loop", "halt"]
+    asm = "\n".join(lines)
+    wide = CoreParams(lq_size=None, iq_size=None, sq_size=None)
+    narrow = CoreParams(lq_size=2, iq_size=None, sq_size=None)
+    wide.mem.mshrs = None
+    narrow.mem.mshrs = None
+    _, stats_wide = run(asm, params=wide)
+    _, stats_narrow = run(asm, params=narrow)
+    assert stats_narrow.cycles > stats_wide.cycles
+    assert stats_narrow.occupancies["lq"].peak <= 2
+
+
+def test_register_limit_stalls_rename():
+    # long chain of integer definitions with a slow anchor at the head
+    lines = ["li r1, 0x100000", "ld r2, r1, 0"]
+    for i in range(40):
+        lines.append(f"addi r{3 + (i % 20)}, r2, {i}")
+    lines.append("halt")
+    asm = "\n".join(lines)
+    tight = CoreParams(int_regs=4, fp_regs=4, iq_size=None)
+    roomy = CoreParams(int_regs=None, fp_regs=None, iq_size=None)
+    _, stats_tight = run(asm, params=tight)
+    _, stats_roomy = run(asm, params=roomy)
+    assert stats_tight.stall_regs > 0
+    assert stats_tight.cycles >= stats_roomy.cycles
+    assert stats_tight.occupancies["rf_int"].peak <= 4
+
+
+def test_sq_limit_respected():
+    lines = ["li r1, 0x200000", "li r2, 1", "li r9, 0", "li r10, 20",
+             "loop:"]
+    for i in range(4):
+        lines.append(f"st r2, r1, {8 * i}")
+    lines += ["addi r1, r1, 64", "addi r9, r9, 1", "blt r9, r10, loop",
+              "halt"]
+    asm = "\n".join(lines)
+    params = CoreParams(sq_size=2)
+    pipeline, stats = run(asm, params=params)
+    assert stats.occupancies["sq"].peak <= 2
+    assert stats.committed_stores == 80
+
+
+def test_stall_attribution_counters_exist():
+    # a DRAM miss blocks commit while the tiny ROB fills behind it
+    _, stats = run("""
+        li r1, 0x300000
+        ld r2, r1, 0
+        li r3, 0
+        li r4, 80
+    loop:
+        addi r3, r3, 1
+        blt r3, r4, loop
+        halt
+    """, params=CoreParams(rob_size=8))
+    assert stats.stall_rob > 0

@@ -1,0 +1,91 @@
+"""Pipeline front-end tests: fetch grouping, I-cache, depth, capacity."""
+
+from repro.core.params import CoreParams
+from repro.core.pipeline import CODE_BASE, Pipeline
+
+from tests.conftest import make_trace
+
+
+def run(asm, max_insts=400, params=None, warm_code=True, **kwargs):
+    trace = make_trace(asm, max_insts=max_insts, **kwargs)
+    pipeline = Pipeline(trace, params=params or CoreParams(),
+                        warm_code=warm_code)
+    return pipeline, pipeline.run()
+
+
+def test_frontend_depth_delays_first_commit():
+    shallow = CoreParams(frontend_depth=1)
+    deep = CoreParams(frontend_depth=12)
+    _, stats_shallow = run("nop\nhalt", params=shallow)
+    _, stats_deep = run("nop\nhalt", params=deep)
+    assert stats_deep.cycles >= stats_shallow.cycles + 10
+
+
+def test_cold_icache_stalls_first_fetch():
+    _, warm = run("nop\nhalt", warm_code=True)
+    _, cold = run("nop\nhalt", warm_code=False)
+    # a cold first fetch goes to DRAM (~200+ cycles)
+    assert cold.cycles > warm.cycles + 150
+
+
+def test_fetch_width_limits_throughput():
+    n = 120
+    asm = "\n".join(f"li r{1 + (i % 20)}, {i}" for i in range(n)) + "\nhalt"
+    narrow = CoreParams(fetch_width=1)
+    wide = CoreParams(fetch_width=8)
+    _, stats_narrow = run(asm, params=narrow, max_insts=n + 1)
+    _, stats_wide = run(asm, params=wide, max_insts=n + 1)
+    assert stats_narrow.cycles > stats_wide.cycles * 2
+    # 1-wide fetch bounds commit rate at ~1 IPC
+    assert stats_narrow.cycles >= n
+
+
+def test_commit_width_limits_throughput():
+    n = 96
+    asm = "\n".join(f"li r{1 + (i % 20)}, {i}" for i in range(n)) + "\nhalt"
+    narrow = CoreParams(commit_width=1)
+    _, stats = run(asm, params=narrow, max_insts=n + 1)
+    assert stats.cycles >= n
+
+
+def test_issue_width_limits_throughput():
+    n = 90
+    asm = "\n".join(f"li r{1 + (i % 20)}, {i}" for i in range(n)) + "\nhalt"
+    narrow = CoreParams(issue_width=1, fu_counts={"alu": 1, "mem": 1,
+                                                  "fp": 1, "muldiv": 1})
+    _, stats = run(asm, params=narrow, max_insts=n + 1)
+    assert stats.cycles >= n
+
+
+def test_code_addresses_do_not_alias_data():
+    # CODE_BASE must be far above any workload data region
+    from repro.workloads.builders import region_base
+    assert CODE_BASE > region_base(40)
+
+
+def test_fetched_counts_match_committed():
+    _, stats = run("""
+        li r1, 0
+        li r2, 30
+    loop:
+        addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+    """, max_insts=200)
+    assert stats.fetched == stats.committed == stats.renamed
+
+
+def test_fu_pool_constrains_fp():
+    # 8 independent fp ops per "iteration"; 1 fp unit vs 4
+    lines = []
+    for i in range(40):
+        lines.append(f"fadd f{1 + (i % 8)}, f9, f10")
+    lines.append("halt")
+    asm = "\n".join(lines)
+    one_fp = CoreParams(fu_counts={"alu": 4, "mem": 2, "fp": 1,
+                                   "muldiv": 1})
+    four_fp = CoreParams(fu_counts={"alu": 4, "mem": 2, "fp": 4,
+                                    "muldiv": 1})
+    _, slow = run(asm, params=one_fp, max_insts=50)
+    _, fast = run(asm, params=four_fp, max_insts=50)
+    assert slow.cycles > fast.cycles

@@ -1,0 +1,182 @@
+"""Pipeline tests: memory-system interactions."""
+
+from repro.core.params import CoreParams
+from repro.core.pipeline import Pipeline
+
+from tests.conftest import make_trace
+
+
+def build(asm, max_insts=300, memory=None, int_regs=None, params=None):
+    trace = make_trace(asm, max_insts=max_insts, memory=memory,
+                       int_regs=int_regs)
+    return Pipeline(trace, params=params or CoreParams()), trace
+
+
+def test_pointer_chase_serialises():
+    """Dependent loads must see the full memory latency each."""
+    mem = {}
+    addr = 0x100000
+    for i in range(6):
+        nxt = 0x100000 + (i + 1) * 0x100000
+        mem[addr] = nxt
+        addr = nxt
+    pipeline, trace = build("""
+        ld r1, r1, 0
+        ld r1, r1, 0
+        ld r1, r1, 0
+        ld r1, r1, 0
+        halt
+    """, memory=mem, int_regs={"r1": 0x100000})
+    stats = pipeline.run()
+    # 4 serial DRAM accesses at ~226 cycles each
+    assert stats.cycles >= 4 * 200
+
+
+def test_independent_misses_overlap():
+    pipeline, _ = build("""
+        li r1, 0x100000
+        li r2, 0x200000
+        li r3, 0x300000
+        li r4, 0x400000
+        ld r5, r1, 0
+        ld r6, r2, 0
+        ld r7, r3, 0
+        ld r8, r4, 0
+        halt
+    """)
+    stats = pipeline.run()
+    # 4 overlapped misses: far less than 4 serial latencies
+    assert stats.cycles < 2 * 226 + 100
+    assert stats.extra["avg_outstanding"] > 0.5
+
+
+def test_same_block_loads_merge():
+    pipeline, _ = build("""
+        li r1, 0x500000
+        ld r2, r1, 0
+        ld r3, r1, 8
+        ld r4, r1, 16
+        halt
+    """)
+    stats = pipeline.run()
+    assert pipeline.hierarchy.stats.mshr_merges >= 2
+    assert stats.committed == 5
+
+
+def test_mshr_limit_throttles_mlp():
+    asm_lines = ["li r1, 0x100000"]
+    for i in range(12):
+        asm_lines.append(f"li r{2 + (i % 8)}, {0x100000 * (i + 1)}")
+        asm_lines.append(f"ld r10, r{2 + (i % 8)}, 0")
+    asm_lines.append("halt")
+    asm = "\n".join(asm_lines)
+
+    limited = CoreParams()
+    limited.mem.mshrs = 1
+    unlimited = CoreParams()
+    unlimited.mem.mshrs = None
+
+    p1, _ = build(asm, params=limited)
+    p2, _ = build(asm, params=unlimited)
+    cycles_limited = p1.run().cycles
+    cycles_unlimited = p2.run().cycles
+    assert cycles_limited > cycles_unlimited * 2
+
+
+def test_memory_violation_detected_and_penalised():
+    """A load speculating past an unknown-address older store to the
+    same word must be flagged when the store resolves."""
+    asm = """
+        li r2, 77
+        li r3, 0x600000
+        ld r4, r3, 0        # slow: r3's value known but cold miss
+        addx: add r5, r4, r3
+        st r2, r5, 0        # address depends on the slow load
+        ld r6, r1, 0        # speculates past the unknown store
+        add r7, r6, r6
+        halt
+    """
+    # make the store address == the speculating load address:
+    # r5 = mem[0x600000] + r3; set mem so r5 == r1 region
+    memory = {0x600000: 0x100000 - 0x600000}
+    pipeline, _ = build(asm.replace("addx: ", ""), memory=memory,
+                        int_regs={"r1": 0x100000})
+    stats = pipeline.run()
+    assert stats.memory_violations >= 1
+    assert stats.committed == 8
+
+
+def test_memdep_predictor_trains_on_violations():
+    body = """
+        li r2, 5
+        li r3, 0x700000
+        ld r4, r3, 0
+        add r5, r4, r3
+        st r2, r5, 0
+        ld r6, r1, 0
+        add r7, r6, r6
+    """
+    asm = "li r9, 0\nli r10, 6\nloop:\n" + body + """
+        addi r9, r9, 1
+        blt r9, r10, loop
+        halt
+    """
+    memory = {0x700000: 0x100000 - 0x700000}
+    pipeline, trace = build(asm, memory=memory, int_regs={"r1": 0x100000},
+                            max_insts=200)
+    stats = pipeline.run()
+    assert stats.memory_violations >= 1
+    # the predictor must have learned the (load, store) pair
+    store_pc = next(d.pc for d in trace if d.is_store)
+    load_pc = next(d.pc for d in trace
+                   if d.is_load and d.addr == 0x100000)
+    assert pipeline.memdep.must_wait(load_pc, store_pc)
+
+
+def test_prefetcher_reduces_stream_time():
+    asm = """
+        li r1, 0x800000
+        li r3, 0
+        li r4, 120
+    loop:
+        ld r2, r1, 0
+        addi r1, r1, 64
+        addi r3, r3, 1
+        blt r3, r4, loop
+        halt
+    """
+    with_pf = CoreParams()
+    without_pf = CoreParams()
+    without_pf.mem.prefetch_degree = 0
+    p1, _ = build(asm, params=with_pf, max_insts=600)
+    p2, _ = build(asm, params=without_pf, max_insts=600)
+    fast = p1.run().cycles
+    slow = p2.run().cycles
+    assert fast < slow
+
+
+def test_store_commit_installs_block():
+    pipeline, _ = build("""
+        li r1, 0x900000
+        li r2, 3
+        st r2, r1, 0
+        halt
+    """)
+    pipeline.run()
+    assert pipeline.hierarchy.l1d.probe(0x900000 >> 6)
+
+
+def test_outstanding_stat_small_for_cache_resident():
+    pipeline, _ = build("""
+        li r1, 0x1000
+        li r3, 0
+        li r4, 400
+    loop:
+        ld r2, r1, 0
+        addi r3, r3, 1
+        blt r3, r4, loop
+        halt
+    """, max_insts=1400)
+    stats = pipeline.run()
+    # only the single cold miss contributes to the integral
+    assert stats.extra["avg_outstanding"] < 0.5

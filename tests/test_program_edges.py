@@ -1,0 +1,81 @@
+"""Edge-case tests for Program, label resolution, and rendering."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program, ProgramError, resolve_labels
+
+
+def test_program_rejects_unresolved_branch():
+    inst = Instruction(opcode="beqz", srcs=("r1",), label="nowhere")
+    with pytest.raises(ProgramError):
+        Program(instructions=[inst])
+
+
+def test_program_rejects_out_of_range_target():
+    inst = Instruction(opcode="j", target=5)
+    with pytest.raises(ProgramError):
+        Program(instructions=[inst])
+
+
+def test_resolve_labels_fills_targets():
+    insts = [
+        Instruction(opcode="nop"),
+        Instruction(opcode="j", label="top"),
+    ]
+    program = resolve_labels(insts, {"top": 0})
+    assert program[1].target == 0
+
+
+def test_resolve_labels_missing_label():
+    insts = [Instruction(opcode="j", label="gone")]
+    with pytest.raises(ProgramError):
+        resolve_labels(insts, {})
+
+
+def test_label_for():
+    program = assemble("""
+    start:
+        nop
+    body:
+        addi r1, r1, 1
+        halt
+    """)
+    assert program.label_for(0) == "start"
+    assert program.label_for(1) == "body"
+    assert program.label_for(2) is None
+
+
+def test_program_iteration_and_indexing():
+    program = assemble("nop\nnop\nhalt")
+    assert len(program) == 3
+    assert [inst.opcode for inst in program] == ["nop", "nop", "halt"]
+    assert program[2].opcode == "halt"
+
+
+def test_render_store_shows_displacement():
+    program = assemble("st r2, r1, 24")
+    assert "24" in program[0].render()
+
+
+def test_render_branch_shows_target():
+    program = assemble("""
+    top:
+        j top
+        halt
+    """)
+    text = program[0].render()
+    assert "top" in text or "@0" in text
+
+
+def test_listing_is_parseable_shape():
+    program = assemble("""
+    loop:
+        addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+    """)
+    listing = program.listing()
+    assert listing.count("\n") >= 3
+    assert "loop:" in listing

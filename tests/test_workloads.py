@@ -1,0 +1,183 @@
+"""Tests for the synthetic workload suite."""
+
+import pytest
+
+from repro.isa.executor import Executor, Memory
+from repro.ltp.oracle import annotate_trace
+from repro.workloads import (MLP_INSENSITIVE, MLP_SENSITIVE, full_suite,
+                             get_workload, mlp_insensitive_suite,
+                             mlp_sensitive_suite, workload_names)
+from repro.workloads.builders import (index_array, linked_ring, region_base,
+                                      sequential_array)
+
+
+def test_registry_names():
+    names = workload_names()
+    assert "indirect_fig2" in names
+    assert "lattice_milc" in names
+    assert len(names) == 15
+
+
+def test_aliases():
+    assert get_workload("astar").name == "ptrchase_astar"
+    assert get_workload("milc").name == "lattice_milc"
+
+
+def test_unknown_workload():
+    with pytest.raises(KeyError):
+        get_workload("nonexistent")
+
+
+def test_suites_partition():
+    sensitive = {w.name for w in mlp_sensitive_suite()}
+    insensitive = {w.name for w in mlp_insensitive_suite()}
+    assert sensitive & insensitive == set()
+    assert sensitive | insensitive == set(workload_names())
+    assert len(sensitive) == 7
+    assert len(insensitive) == 8
+
+
+@pytest.mark.parametrize("name", [
+    "indirect_fig2", "ptrchase_astar", "sparse_gather", "hash_probe",
+    "lattice_milc", "stream_triad", "compute_fp", "compute_int",
+    "small_ws_ring", "stencil_small", "branchy_compute", "btree_probe",
+    "spmv_csr", "memset_stream", "blocked_mm",
+])
+def test_workload_produces_full_trace(name):
+    workload = get_workload(name)
+    trace = workload.trace(400)
+    assert len(trace) == 400, f"{name} halted early"
+    assert [d.seq for d in trace] == list(range(400))
+
+
+def test_traces_deterministic():
+    a = get_workload("sparse_gather").trace(200)
+    b = get_workload("sparse_gather").trace(200)
+    assert [(d.pc, d.addr) for d in a] == [(d.pc, d.addr) for d in b]
+
+
+def test_sensitive_workloads_have_long_latency_loads():
+    for workload in mlp_sensitive_suite():
+        trace = workload.trace(1500)
+        oracle = annotate_trace(trace,
+                                warm_regions=workload.warm_regions)
+        assert sum(oracle.long_latency) > 5, workload.name
+
+
+def test_insensitive_workloads_have_few_misses():
+    for workload in mlp_insensitive_suite():
+        trace = workload.trace(1500)
+        oracle = annotate_trace(trace,
+                                warm_regions=workload.warm_regions)
+        miss_rate = sum(oracle.long_latency) / len(trace)
+        # streams are covered by the prefetcher; compute kernels miss
+        # almost never (cold misses only)
+        assert miss_rate < 0.12, workload.name
+
+
+def test_fig2_kernel_matches_paper_classes():
+    """The Figure 2 kernel must classify like the paper's example."""
+    workload = get_workload("indirect_fig2")
+    trace = workload.trace(3000)
+    oracle = annotate_trace(trace, warm_regions=workload.warm_regions)
+    program = workload.program
+    by_pc = {}
+    for i, dyn in enumerate(trace[200:], start=200):
+        entry = by_pc.setdefault(dyn.pc, [0, 0, 0])
+        entry[0] += 1
+        entry[1] += oracle.urgent[i]
+        entry[2] += oracle.non_ready[i]
+
+    def majority_class(pc):
+        count, urgent, non_ready = by_pc[pc]
+        return (urgent / count > 0.5, non_ready / count > 0.5)
+
+    opcode_of = {pc: program[pc].opcode for pc in by_pc}
+    # the B load (fldx) is urgent; its consumer (fadd) is NU+NR; the
+    # store is NU+NR (it is non-ready through the fadd); the loop
+    # counter/branch are NU+R
+    for pc in by_pc:
+        urgent, non_ready = majority_class(pc)
+        opcode = opcode_of[pc]
+        if opcode == "fldx":
+            assert urgent, "B load must be urgent"
+        elif opcode == "fadd":
+            assert not urgent and non_ready
+        elif opcode == "fst":
+            assert not urgent and non_ready
+        elif opcode == "blt":
+            assert not urgent and not non_ready
+
+
+def test_ptrchase_loads_are_urgent_and_non_ready():
+    workload = get_workload("ptrchase_astar")
+    trace = workload.trace(2000)
+    oracle = annotate_trace(trace, warm_regions=workload.warm_regions)
+    chase = [i for i, d in enumerate(trace)
+             if d.inst.opcode == "ld" and d.inst.imm == 0 and i > 200]
+    assert chase
+    urgent_and_nr = sum(1 for i in chase
+                        if oracle.urgent[i] and oracle.non_ready[i])
+    assert urgent_and_nr / len(chase) > 0.8
+
+
+def test_milc_has_non_urgent_majority():
+    workload = get_workload("lattice_milc")
+    trace = workload.trace(2000)
+    oracle = annotate_trace(trace, warm_regions=workload.warm_regions)
+    non_urgent = sum(1 for i in range(200, len(trace))
+                     if not oracle.urgent[i])
+    assert non_urgent / (len(trace) - 200) > 0.5
+
+
+# ------------------------------------------------------------ builders
+def test_region_bases_disjoint():
+    bases = [region_base(i) for i in range(24)]
+    assert len(set(bases)) == len(bases)
+    for a, b in zip(bases, bases[1:]):
+        assert b - a >= 64 * 1024 * 1024
+
+
+def test_index_array_deterministic_and_bounded():
+    arr1 = index_array(0x1000, 128, 1000, seed=3)
+    arr2 = index_array(0x1000, 128, 1000, seed=3)
+    assert arr1 == arr2
+    assert all(0 <= v < 1000 for v in arr1.values())
+    assert len(arr1) == 128
+
+
+def test_sequential_array():
+    arr = sequential_array(0x2000, 4, start=10, step=2)
+    assert arr == {0x2000: 10, 0x2008: 12, 0x2010: 14, 0x2018: 16}
+
+
+def test_linked_ring_is_a_cycle():
+    memory, head = linked_ring(0x10000, nodes=50, region_blocks=128, seed=1)
+    seen = set()
+    addr = head
+    for _ in range(50):
+        assert addr not in seen
+        seen.add(addr)
+        addr = memory[addr]
+    assert addr == head  # closes the ring
+    assert len(seen) == 50
+
+
+def test_linked_ring_nodes_on_distinct_blocks():
+    memory, head = linked_ring(0x10000, nodes=64, region_blocks=64, seed=2)
+    blocks = {addr // 64 for addr in memory if memory[addr] != 0}
+    assert len({a // 64 for a in memory}) == 64
+
+
+def test_linked_ring_rejects_overfull():
+    with pytest.raises(ValueError):
+        linked_ring(0, nodes=10, region_blocks=5, seed=0)
+
+
+def test_workload_executor_fresh_state():
+    workload = get_workload("compute_int")
+    ex1 = workload.executor()
+    list(ex1.run(100))
+    ex2 = workload.executor()
+    trace = list(ex2.run(100))
+    assert trace[0].seq == 0
