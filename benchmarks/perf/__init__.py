@@ -1,0 +1,1 @@
+"""Performance benchmarks for the simulation hot path (see harness.py)."""

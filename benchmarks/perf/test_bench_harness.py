@@ -1,0 +1,23 @@
+"""Smoke tests for the perf-benchmark harness (tiny traces)."""
+
+from benchmarks.perf import harness
+
+
+def test_run_bench_smoke():
+    document = harness.run_bench(warmup=200, measure=300, repeats=1,
+                                 names=["milc_baseline"])
+    row = document["configs"]["milc_baseline"]
+    assert row["committed"] == 300
+    assert row["insts_per_sec"] > 0
+    assert row["cycles"] > 0
+
+
+def test_attach_baseline_computes_speedup():
+    document = {"configs": {"milc_baseline": {"insts_per_sec": 100.0}}}
+    document = harness.attach_baseline(document)
+    assert document["headline"] == harness.HEADLINE
+    baseline = harness.load_baseline()
+    if baseline is not None:  # snapshot is committed with the repo
+        expected = round(
+            100.0 / baseline["configs"]["milc_baseline"]["insts_per_sec"], 3)
+        assert document["speedup_vs_baseline"]["milc_baseline"] == expected

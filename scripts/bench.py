@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Measure simulator throughput and write ``BENCH_pipeline.json``.
+
+Usage (from the repo root)::
+
+    python scripts/bench.py                  # full run, writes BENCH_pipeline.json
+    python scripts/bench.py --smoke          # tiny traces (CI sanity run)
+    python scripts/bench.py --save-baseline  # snapshot benchmarks/perf/baseline_seed.json
+
+The output document records simulated-instructions-per-second for each
+configuration in ``benchmarks.perf.harness.BENCH_CONFIGS``, alongside
+the committed pre-optimisation seed baseline and the speedup against
+it.  See README.md ("Performance tracking") for how to read the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from benchmarks.perf import harness  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the timing pipeline (simulated insts/sec)")
+    parser.add_argument("--warmup", type=int, default=2000,
+                        help="functional warmup instructions per config")
+    parser.add_argument("--measure", type=int, default=4000,
+                        help="timed (measured) instructions per config")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions per config; best time is kept")
+    parser.add_argument("--configs", nargs="*", default=None,
+                        choices=sorted(harness.BENCH_CONFIGS),
+                        help="subset of configs to run (default: all)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny traces and one repeat (CI sanity run)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_pipeline.json")
+    parser.add_argument("--save-baseline", action="store_true",
+                        help="write the result as the seed baseline "
+                             "snapshot instead of BENCH_pipeline.json")
+    args = parser.parse_args(argv)
+
+    warmup, measure, repeats = args.warmup, args.measure, args.repeats
+    if args.smoke:
+        warmup, measure, repeats = 300, 600, 1
+
+    document = harness.run_bench(warmup=warmup, measure=measure,
+                                 repeats=repeats, names=args.configs)
+    document["schema"] = 1
+    document["generated"] = datetime.now(timezone.utc).isoformat()
+    document["python"] = platform.python_version()
+    document["machine"] = platform.machine()
+    document["smoke"] = bool(args.smoke)
+
+    if args.save_baseline:
+        output = harness.BASELINE_SNAPSHOT
+    else:
+        output = args.output
+        document = harness.attach_baseline(document)
+
+    with open(output, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    rows = document["configs"]
+    width = max(len(name) for name in rows)
+    print(f"{'config':<{width}}  {'insts/sec':>12}  {'IPC':>7}  speedup")
+    for name, row in rows.items():
+        speedup = document.get("speedup_vs_baseline", {}).get(name)
+        suffix = f"{speedup:7.2f}x" if speedup else "      --"
+        print(f"{name:<{width}}  {row['insts_per_sec']:>12,.0f}  "
+              f"{row['ipc']:>7.3f}  {suffix}")
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,6 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p = sub.add_parser("experiment",
                            help="regenerate a paper table/figure")
     exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp_p.add_argument("--jobs", "-j", type=int, default=1,
+                       help="worker processes for the sweep (default 1; "
+                            "0 = one per CPU)")
     return parser
 
 
@@ -156,7 +159,12 @@ def cmd_classify(args, out) -> int:
 
 def cmd_experiment(args, out) -> int:
     runner, renderer = EXPERIMENTS[args.name]
-    print(renderer(runner()), file=out)
+    jobs = args.jobs if args.jobs != 0 else None
+    if jobs is not None and jobs <= 1:
+        result = runner()
+    else:
+        result = experiments.run_parallel(runner, jobs=jobs)
+    print(renderer(result), file=out)
     return 0
 
 

@@ -8,7 +8,7 @@ record carries readiness counters rather than register indices.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import Optional, Tuple
 
 from repro.isa.trace import DynInst
 
@@ -18,12 +18,20 @@ from repro.isa.trace import DynInst
 #   issued      -> selected for execution, completion event pending
 #   done        -> executed; eligible for commit when at ROB head
 
+#: shared immutable defaults so constructing a record (which happens on
+#: every rename *attempt*, including retried ones) allocates nothing.
+#: The pipeline swaps ``consumers`` for a real list on first append;
+#: the ticket tracker assigns a real set on inheritance.
+_NO_CONSUMERS: Tuple = ()
+_NO_TICKETS: frozenset = frozenset()
+
 
 class InFlightInst:
     """Timing-model state for one dynamic instruction."""
 
     __slots__ = (
         "dyn", "seq",
+        "is_load", "is_store", "has_dst", "fu_group", "nonpipelined",
         "waiting_on", "consumers",
         "in_iq", "issued", "done",
         "completion_cycle",
@@ -32,15 +40,22 @@ class InFlightInst:
         "tickets", "own_ticket",
         "rf_class", "rf_allocated", "lq_allocated", "sq_allocated",
         "rename_cycle", "release_cycle", "issue_cycle",
-        "mem_level", "mispredicted", "producer_records",
+        "mem_level", "producer_records",
         "forced_release", "park_reason",
     )
 
     def __init__(self, dyn: DynInst) -> None:
         self.dyn = dyn
         self.seq = dyn.seq
+        # mirror the pre-decoded metadata the per-cycle paths touch, so
+        # the hot loop never takes the extra hop through ``dyn``
+        self.is_load = dyn.is_load
+        self.is_store = dyn.is_store
+        self.has_dst = dyn.has_dst
+        self.fu_group = dyn.fu_group
+        self.nonpipelined = dyn.nonpipelined
         self.waiting_on = 0
-        self.consumers: List["InFlightInst"] = []
+        self.consumers = _NO_CONSUMERS  # list on first append (see pipeline)
         self.in_iq = False
         self.issued = False
         self.done = False
@@ -51,9 +66,9 @@ class InFlightInst:
         self.predicted_ll = False
         self.actual_ll = False
         self.ll_listed = False
-        self.tickets: Set[int] = set()
+        self.tickets = _NO_TICKETS  # real set assigned by TicketTracker
         self.own_ticket: Optional[int] = None
-        self.rf_class: Optional[str] = None
+        self.rf_class: Optional[str] = dyn.rf_class
         self.rf_allocated = False
         self.lq_allocated = False
         self.sq_allocated = False
@@ -61,7 +76,6 @@ class InFlightInst:
         self.release_cycle: Optional[int] = None
         self.issue_cycle: Optional[int] = None
         self.mem_level: Optional[str] = None
-        self.mispredicted = False
         self.producer_records: Tuple[Optional["InFlightInst"], ...] = ()
         self.forced_release = False
         self.park_reason: Optional[str] = None

@@ -5,6 +5,9 @@ Readiness is event driven: the pipeline calls :meth:`wake` when a
 producer completes, and ready entries sit in a min-heap keyed by sequence
 number so selection is oldest-first — the common heuristic the paper's
 IQ discussion assumes.
+
+``occupancy`` is a plain public counter (read every simulated cycle by
+the statistics accumulator — keep it attribute-cheap).
 """
 
 from __future__ import annotations
@@ -14,36 +17,39 @@ from typing import Callable, List, Optional
 
 from repro.core.params import cap
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class IssueQueue:
     """Bounded issue queue with event-driven wakeup and oldest-first select."""
 
     def __init__(self, size: Optional[int]) -> None:
         self.capacity = cap(size)
-        self._occupancy = 0
+        self.occupancy = 0
         self._ready_heap: List[tuple] = []
 
     def __len__(self) -> int:
-        return self._occupancy
+        return self.occupancy
 
     @property
     def full(self) -> bool:
-        return self._occupancy >= self.capacity
+        return self.occupancy >= self.capacity
 
     def free_slots(self) -> int:
-        return self.capacity - self._occupancy
+        return self.capacity - self.occupancy
 
     def insert(self, record) -> None:
         """Dispatch *record* into the IQ; it must carry wait bookkeeping."""
-        if self.full:
+        if self.occupancy >= self.capacity:
             raise RuntimeError("IQ overflow")
-        self._occupancy += 1
+        self.occupancy += 1
         record.in_iq = True
         if record.waiting_on == 0:
-            self.mark_ready(record)
+            _heappush(self._ready_heap, (record.seq, record))
 
     def mark_ready(self, record) -> None:
-        heapq.heappush(self._ready_heap, (record.seq, record))
+        _heappush(self._ready_heap, (record.seq, record))
 
     def wake(self, record) -> None:
         """Producer completed for *record*; enqueue if fully ready."""
@@ -62,7 +68,8 @@ class IssueQueue:
         deferred: List[tuple] = []
         heap = self._ready_heap
         while heap and len(picked) < max_issues:
-            seq, record = heapq.heappop(heap)
+            item = _heappop(heap)
+            record = item[1]
             if record.issued or not record.in_iq:
                 continue  # stale heap entry
             if record.waiting_on != 0:
@@ -71,20 +78,20 @@ class IssueQueue:
                 picked.append(record)
                 record.issued = True
                 record.in_iq = False
-                self._occupancy -= 1
+                self.occupancy -= 1
             else:
-                deferred.append((seq, record))
+                deferred.append(item)
         for item in deferred:
-            heapq.heappush(heap, item)
+            _heappush(heap, item)
         return picked
 
     def has_ready(self) -> bool:
         """True if some entry could issue this cycle (ignoring FUs)."""
         heap = self._ready_heap
         while heap:
-            seq, record = heap[0]
+            record = heap[0][1]
             if record.issued or not record.in_iq:
-                heapq.heappop(heap)
+                _heappop(heap)
                 continue
             return True
         return False

@@ -38,6 +38,7 @@ class LoadStoreQueues:
         self.lq_capacity = cap(lq_size)
         self.sq_capacity = cap(sq_size)
         self.lq_used = 0
+        self.sq_used = 0  # kept as a plain counter: read every cycle
         self._stores: Dict[int, StoreEntry] = {}  # seq -> entry
         # clamp so the reserve can never block rename outright
         self.reserve = min(reserve,
@@ -63,6 +64,7 @@ class LoadStoreQueues:
             raise RuntimeError("SQ overflow")
         entry = StoreEntry(seq, pc)
         self._stores[seq] = entry
+        self.sq_used += 1
         return entry
 
     def release_load(self) -> None:
@@ -74,10 +76,7 @@ class LoadStoreQueues:
         if seq not in self._stores:
             raise RuntimeError(f"SQ double free (seq {seq})")
         del self._stores[seq]
-
-    @property
-    def sq_used(self) -> int:
-        return len(self._stores)
+        self.sq_used -= 1
 
     # -- store execution ------------------------------------------------
     def store_executed(self, seq: int, addr: int, cycle: int) -> None:

@@ -21,6 +21,25 @@ cycle:
 Idle spans (every unit waiting on a future event) are jumped over in one
 step; all time-integrated statistics account for the jump width, so
 results are identical to cycle-by-cycle execution, just faster.
+
+Performance-sensitive invariants of the main loop (see README.md):
+
+* Per-instruction metadata (FU group, non-pipelined flag, load/store
+  flags, destination register class, code address) is **pre-decoded**
+  on :class:`DynInst` at trace build time and mirrored onto
+  :class:`InFlightInst` at rename; the hot loop performs no opcode
+  table lookups or property calls.  ``Pipeline(use_predecode=False)``
+  keeps the original per-use table-lookup path alive as a reference
+  implementation for differential tests.
+* Execution latencies are resolved to a per-``OpClass`` table once at
+  pipeline construction.
+* Occupancy statistics are integrated by direct writes to the bound
+  :class:`Occupancy` accumulators — no per-cycle dict building.
+* The trace is consumed by list index (no iterator protocol / ``next``
+  exception handling in the fetch path).
+* Stage order inside :meth:`_tick` (writeback, commit, LTP release,
+  rename, issue, fetch) and every statistics update are load-bearing:
+  results must stay bit-identical to strict cycle-by-cycle execution.
 """
 
 from __future__ import annotations
@@ -38,36 +57,28 @@ from repro.core.params import CoreParams
 from repro.core.regfile import RegisterFile
 from repro.core.rob import ROB
 from repro.core.stats import SimStats
-from repro.isa.instructions import OpClass
-from repro.isa.trace import DynInst
+from repro.isa.instructions import FU_GROUP, NONPIPELINED_CLASSES, OpClass
+from repro.isa.trace import CODE_BASE, INST_BYTES, DynInst
 from repro.ltp.config import LTPConfig
 from repro.ltp.controller import NO_BOUNDARY, LTPController
 from repro.memory.hierarchy import MemoryHierarchy
 
-#: byte address of static instruction 0 (code lives far from data)
-CODE_BASE = 1 << 40
-INST_BYTES = 4
+__all__ = ["CODE_BASE", "INST_BYTES", "Pipeline", "SimulationDeadlock",
+           "simulate"]
 
 _EV_COMPLETE = 0
 _EV_TAG = 1
 
-_FU_GROUP = {
-    OpClass.INT_ALU: "alu",
-    OpClass.INT_MUL: "muldiv",
-    OpClass.INT_DIV: "muldiv",
-    OpClass.FP_ADD: "fp",
-    OpClass.FP_MUL: "fp",
-    OpClass.FP_DIV: "fp",
-    OpClass.LOAD: "mem",
-    OpClass.STORE: "mem",
-    OpClass.BRANCH: "alu",
-    OpClass.JUMP: "alu",
-    OpClass.NOP: "alu",
-}
-
-_NONPIPELINED = (OpClass.INT_DIV, OpClass.FP_DIV)
+#: legacy aliases — the authoritative tables live in
+#: :mod:`repro.isa.instructions`; the reference (non-pre-decoded) issue
+#: path and older callers consult them per use.
+_FU_GROUP = FU_GROUP
+_NONPIPELINED = tuple(sorted(NONPIPELINED_CLASSES, key=lambda c: c.value))
 
 _WORD_MASK = ~7
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationDeadlock(RuntimeError):
@@ -84,7 +95,8 @@ class Pipeline:
                  hierarchy: Optional[MemoryHierarchy] = None,
                  branch_predictor: Optional[GsharePredictor] = None,
                  warm_code: bool = True,
-                 allow_skip: bool = True) -> None:
+                 allow_skip: bool = True,
+                 use_predecode: bool = True) -> None:
         self.params = (params or CoreParams()).validate()
         self.ltp_config = (ltp or LTPConfig(enabled=False)).validate()
         self.hierarchy = hierarchy or MemoryHierarchy(self.params.mem)
@@ -98,6 +110,9 @@ class Pipeline:
         #: False forces strict cycle-by-cycle execution (used by tests to
         #: verify that idle-span jumping never changes results)
         self.allow_skip = allow_skip
+        #: False routes issue/execute through the reference per-use
+        #: table-lookup path (differential testing of the fast path)
+        self.use_predecode = use_predecode
 
         reserve = (self.ltp_config.release_reserve
                    if self.ltp_config.enabled else 0)
@@ -119,10 +134,9 @@ class Pipeline:
                 self.hierarchy.l2.insert(block)
                 self.hierarchy.l3.insert(block)
 
-        self._trace = iter(trace)
-        self._next_dyn: Optional[DynInst] = None
-        self._trace_done = False
-        self._advance_trace()
+        self._trace_seq: Sequence[DynInst] = trace
+        self._trace_idx = 0
+        self._trace_len = len(trace)
 
         self.cycle = 0
         self._events: List[tuple] = []          # (cycle, seq, kind, record)
@@ -138,29 +152,61 @@ class Pipeline:
         self._open_loads: Dict[int, List[InFlightInst]] = {}
         self._parked_store_pcs: Dict[int, int] = {}
         self._fu_busy_until: Dict[str, int] = {}
+        self._fu_used: Dict[str, int] = {}      # scratch, reset per issue
         self._last_commit_cycle = 0
+
+        # hot-path constants, resolved once
+        latencies = self.params.latencies
+        default_latency = latencies["int_alu"]
+        self._lat_by_class: Dict[OpClass, int] = {
+            op: latencies.get(op.value, default_latency) for op in OpClass}
+        self._lat_agu = latencies["agu"]
+        self._lat_store = latencies["store"]
+        self._lat_forward = latencies["forward"]
+        occ = self.stats.occupancies
+        self._occ_rob = occ["rob"]
+        self._occ_iq = occ["iq"]
+        self._occ_lq = occ["lq"]
+        self._occ_sq = occ["sq"]
+        self._occ_rf_int = occ["rf_int"]
+        self._occ_rf_fp = occ["rf_fp"]
+        self._occ_ltp = occ["ltp"]
+        self._occ_ltp_regs = occ["ltp_regs"]
+        self._occ_ltp_loads = occ["ltp_loads"]
+        self._occ_ltp_stores = occ["ltp_stores"]
+        # direct bindings into collaborators whose identity is fixed for
+        # the pipeline's lifetime (the objects mutate in place); reserves
+        # are likewise fixed after construction.
+        self._rob_entries = self.rob._entries
+        self._rf_free = self.regfile._free
+        self._rf_need = 1 + self.regfile.reserve
+        self._lsq_need = 1 + self.lsq.reserve
+        self._monitor = self.controller.monitor
+        self._monitor_off = self._monitor.mode == "off"
+        self._ltp_entries = self.controller.queue._entries
+        self._rf_cap_int = self.regfile._capacity["int"]
+        self._rf_cap_fp = self.regfile._capacity["fp"]
+
+        if not use_predecode:
+            self._issue = self._issue_reference      # type: ignore
+            self._execute = self._execute_reference  # type: ignore
 
     # ==================================================================
     # public API
     # ==================================================================
     def run(self) -> SimStats:
         """Run the trace to completion and return the statistics."""
-        while not self._finished():
-            self._tick()
+        tick = self._tick
+        finished = self._finished
+        while not finished():
+            tick()
         self.stats.cycles = self.cycle
         self._export_activity()
         return self.stats
 
     # ==================================================================
-    # trace plumbing
+    # trace / frontend plumbing
     # ==================================================================
-    def _advance_trace(self) -> None:
-        try:
-            self._next_dyn = next(self._trace)
-        except StopIteration:
-            self._next_dyn = None
-            self._trace_done = True
-
     def _frontend_len(self) -> int:
         return len(self._frontend) - self._frontend_head
 
@@ -169,16 +215,9 @@ class Pipeline:
             return self._frontend[self._frontend_head]
         return None
 
-    def _frontend_pop(self) -> Tuple[int, DynInst]:
-        item = self._frontend[self._frontend_head]
-        self._frontend_head += 1
-        if self._frontend_head > 64:
-            del self._frontend[:self._frontend_head]
-            self._frontend_head = 0
-        return item
-
     def _finished(self) -> bool:
-        return (self._trace_done and self._frontend_len() == 0
+        return (self._trace_idx >= self._trace_len
+                and self._frontend_head >= len(self._frontend)
                 and self.rob.empty)
 
     # ==================================================================
@@ -188,11 +227,15 @@ class Pipeline:
         now = self.cycle
         self.hierarchy.advance(now)
 
-        progress = False
-        progress |= self._writeback(now)
+        events = self._events
+        progress = self._writeback(now) if (events and events[0][0] <= now) \
+            else False
         progress |= self._commit(now)
-        released, release_pending = self._ltp_release(now)
-        progress |= released > 0
+        if self._ltp_entries:
+            released, release_pending = self._ltp_release(now)
+            progress |= released > 0
+        else:
+            release_pending = False
         progress |= self._rename(now)
         progress |= self._issue(now)
         progress |= self._fetch(now)
@@ -200,10 +243,13 @@ class Pipeline:
         imminent = (progress
                     or release_pending
                     or self.iq.has_ready()
-                    or (self._events and self._events[0][0] <= now + 1))
-        head = self._frontend_peek()
-        if head is not None and head[0] <= now + 1:
-            imminent = True
+                    or (events and events[0][0] <= now + 1))
+        if not imminent:
+            frontend = self._frontend
+            head_idx = self._frontend_head
+            if (head_idx < len(frontend)
+                    and frontend[head_idx][0] <= now + 1):
+                imminent = True
 
         if imminent or not self.allow_skip:
             step = 1
@@ -257,20 +303,61 @@ class Pipeline:
 
     def _accumulate(self, now: int, step: int) -> None:
         queue = self.controller.queue
-        self.stats.accumulate({
-            "rob": len(self.rob),
-            "iq": len(self.iq),
-            "lq": self.lsq.lq_used,
-            "sq": self.lsq.sq_used,
-            "rf_int": self.regfile.in_use("int"),
-            "rf_fp": self.regfile.in_use("fp"),
-            "ltp": len(queue),
-            "ltp_regs": queue.parked_with_dst,
-            "ltp_loads": queue.parked_loads,
-            "ltp_stores": queue.parked_stores,
-        }, step)
-        self.stats.ltp_enabled_cycles += self.controller.monitor.enabled_span(
-            now, now + step)
+        lsq = self.lsq
+        occ = self._occ_rob
+        level = len(self._rob_entries)
+        occ.integral += level * step
+        if level > occ.peak:
+            occ.peak = level
+        occ = self._occ_iq
+        level = self.iq.occupancy
+        occ.integral += level * step
+        if level > occ.peak:
+            occ.peak = level
+        occ = self._occ_lq
+        level = lsq.lq_used
+        occ.integral += level * step
+        if level > occ.peak:
+            occ.peak = level
+        occ = self._occ_sq
+        level = lsq.sq_used
+        occ.integral += level * step
+        if level > occ.peak:
+            occ.peak = level
+        rf_free = self._rf_free
+        occ = self._occ_rf_int
+        level = self._rf_cap_int - rf_free["int"]
+        occ.integral += level * step
+        if level > occ.peak:
+            occ.peak = level
+        occ = self._occ_rf_fp
+        level = self._rf_cap_fp - rf_free["fp"]
+        occ.integral += level * step
+        if level > occ.peak:
+            occ.peak = level
+        occ = self._occ_ltp
+        level = len(queue._entries)
+        occ.integral += level * step
+        if level > occ.peak:
+            occ.peak = level
+        occ = self._occ_ltp_regs
+        level = queue.parked_with_dst
+        occ.integral += level * step
+        if level > occ.peak:
+            occ.peak = level
+        occ = self._occ_ltp_loads
+        level = queue.parked_loads
+        occ.integral += level * step
+        if level > occ.peak:
+            occ.peak = level
+        occ = self._occ_ltp_stores
+        level = queue.parked_stores
+        occ.integral += level * step
+        if level > occ.peak:
+            occ.peak = level
+        if not self._monitor_off:
+            self.stats.ltp_enabled_cycles += self._monitor.enabled_span(
+                now, now + step)
 
     # ==================================================================
     # fetch
@@ -281,63 +368,92 @@ class Pipeline:
             return False
         if now < self._fetch_stall_until:
             return False
-        if self._next_dyn is None:
+        trace = self._trace_seq
+        idx = self._trace_idx
+        length = self._trace_len
+        if idx >= length:
             return False
-        if self._frontend_len() + self.params.fetch_width > self._frontend_cap:
+        frontend = self._frontend
+        if (len(frontend) - self._frontend_head
+                + self.params.fetch_width > self._frontend_cap):
             return False
 
-        first = self._next_dyn
-        inst_addr = CODE_BASE + first.pc * INST_BYTES
-        icache = self.hierarchy.access_inst(inst_addr, now)
+        first = trace[idx]
+        icache = self.hierarchy.access_inst(first.code_addr, now)
         if icache.complete_cycle > now + 1:
             self._fetch_stall_until = icache.complete_cycle
             return False
 
+        stats = self.stats
+        bpred_update = self.bpred.predict_and_update
         fetched = 0
+        width = self.params.fetch_width
         ready = now + self.params.frontend_depth
-        while (fetched < self.params.fetch_width
-               and self._next_dyn is not None):
-            dyn = self._next_dyn
-            self._frontend.append((ready, dyn))
-            self._advance_trace()
+        while fetched < width and idx < length:
+            dyn = trace[idx]
+            idx += 1
+            frontend.append((ready, dyn))
             fetched += 1
-            self.stats.fetched += 1
+            stats.fetched += 1
             if dyn.is_branch:
-                correct = self.bpred.predict_and_update(dyn.pc, dyn.taken)
+                correct = bpred_update(dyn.pc, dyn.taken)
                 if not correct:
-                    self.stats.branch_mispredicts += 1
+                    stats.branch_mispredicts += 1
                     self._fetch_blocked_on = dyn.seq
                     break
             elif dyn.taken:
                 break  # taken jump/branch ends the fetch group
+        self._trace_idx = idx
         return fetched > 0
 
     # ==================================================================
     # rename / dispatch / park
     # ==================================================================
     def _rename(self, now: int) -> bool:
+        frontend = self._frontend
+        frontend_len = len(frontend)
+        if self._frontend_head >= frontend_len:
+            return False
         renamed = 0
-        params = self.params
+        width = self.params.rename_width
         stats = self.stats
-        while renamed < params.rename_width:
-            head = self._frontend_peek()
-            if head is None or head[0] > now:
-                if renamed == 0 and self.rob:
-                    stats.stall_frontend += 0  # fetch-side stall, not rename
+        rob = self.rob
+        rob_entries = self._rob_entries
+        rob_capacity = rob.capacity
+        controller = self.controller
+        scoreboard = self._scoreboard
+        scoreboard_get = scoreboard.get
+        parked_store_pcs = self._parked_store_pcs
+        while renamed < width:
+            head_idx = self._frontend_head
+            if head_idx >= frontend_len:
                 break
-            if self.rob.full:
+            head = frontend[head_idx]
+            if head[0] > now:
+                break
+            if len(rob_entries) >= rob_capacity:
                 if renamed == 0:
                     stats.stall_rob += 1
                 break
             dyn = head[1]
             record = InFlightInst(dyn)
-            record.producer_records = tuple(
-                self._scoreboard.get(p) if p >= 0 else None
-                for p in dyn.src_producers)
-            if dyn.inst.dst is not None:
-                record.rf_class = "fp" if dyn.inst.writes_fp else "int"
+            src_producers = dyn.src_producers
+            n_producers = len(src_producers)
+            if n_producers == 1:
+                p0 = src_producers[0]
+                record.producer_records = (
+                    scoreboard_get(p0) if p0 >= 0 else None,)
+            elif n_producers == 2:
+                p0, p1 = src_producers
+                record.producer_records = (
+                    scoreboard_get(p0) if p0 >= 0 else None,
+                    scoreboard_get(p1) if p1 >= 0 else None)
+            elif n_producers:
+                record.producer_records = tuple(
+                    scoreboard_get(p) if p >= 0 else None
+                    for p in src_producers)
 
-            self.controller.observe_rename(record)
+            controller.observe_rename(record)
             if record.urgent:
                 stats.classified_urgent += 1
             else:
@@ -346,13 +462,13 @@ class Pipeline:
                 stats.classified_non_ready += 1
 
             memdep_forced = False
-            if dyn.is_load and self._parked_store_pcs:
+            if record.is_load and parked_store_pcs:
                 for store_pc in self.memdep.predicted_stores(dyn.pc):
-                    if self._parked_store_pcs.get(store_pc):
+                    if parked_store_pcs.get(store_pc):
                         memdep_forced = True
                         break
 
-            decision = self.controller.decide(record, now, memdep_forced)
+            decision = controller.decide(record, now, memdep_forced)
             if decision == "stall":
                 if renamed == 0:
                     stats.stall_ltp_full += 1
@@ -373,8 +489,14 @@ class Pipeline:
                     break
                 self._allocate_dispatch(record, now)
 
-            self._frontend_pop()
-            self._scoreboard[dyn.seq] = record
+            # pop the frontend FIFO; periodic compaction bounds the list
+            head_idx += 1
+            if head_idx > 64:
+                del frontend[:head_idx]
+                head_idx = 0
+                frontend_len = len(frontend)
+            self._frontend_head = head_idx
+            scoreboard[dyn.seq] = record
             self._register_dependences(record)
             record.rename_cycle = now
             if record.predicted_ll:
@@ -385,11 +507,10 @@ class Pipeline:
 
     def _can_allocate_park(self, record: InFlightInst) -> bool:
         cfg = self.ltp_config
-        dyn = record.dyn
-        if dyn.is_load and not cfg.park_loads:
+        if record.is_load and not cfg.park_loads:
             if not self.lsq.can_allocate_load():
                 return False
-        if dyn.is_store and not cfg.park_stores:
+        if record.is_store and not cfg.park_stores:
             if not self.lsq.can_allocate_store():
                 return False
         if not cfg.defer_registers and record.rf_class is not None:
@@ -401,10 +522,10 @@ class Pipeline:
     def _allocate_park(self, record: InFlightInst, now: int) -> None:
         cfg = self.ltp_config
         dyn = record.dyn
-        if dyn.is_load and not cfg.park_loads:
+        if record.is_load and not cfg.park_loads:
             self.lsq.allocate_load()
             record.lq_allocated = True
-        if dyn.is_store and not cfg.park_stores:
+        if record.is_store and not cfg.park_stores:
             self.lsq.allocate_store(dyn.seq, dyn.pc)
             record.sq_allocated = True
         if not cfg.defer_registers and record.rf_class is not None:
@@ -414,36 +535,45 @@ class Pipeline:
         self.controller.park(record)
         self.stats.ltp_parked += 1
         self.stats.ltp_writes += 1
-        if dyn.is_store:
+        if record.is_store:
             count = self._parked_store_pcs.get(dyn.pc, 0)
             self._parked_store_pcs[dyn.pc] = count + 1
 
     def _can_allocate_dispatch(self, record: InFlightInst) -> Optional[str]:
-        """Return the stall-stat name blocking dispatch, or None."""
-        dyn = record.dyn
-        if self.iq.full:
+        """Return the stall-stat name blocking dispatch, or None.
+
+        Equivalent to ``iq.full`` / ``regfile.can_allocate`` /
+        ``lsq.can_allocate_*`` with the reserve honoured, expanded to
+        direct comparisons because rename retries this check every
+        cycle it stays blocked.
+        """
+        iq = self.iq
+        if iq.occupancy >= iq.capacity:
             return "stall_iq"
-        if record.rf_class is not None and not self.regfile.can_allocate(
-                record.rf_class):
+        rf_class = record.rf_class
+        if rf_class is not None and self._rf_free[rf_class] < self._rf_need:
             return "stall_regs"
-        if dyn.is_load and not self.lsq.can_allocate_load():
+        lsq = self.lsq
+        if record.is_load and lsq.lq_used + self._lsq_need > lsq.lq_capacity:
             return "stall_lsq"
-        if dyn.is_store and not self.lsq.can_allocate_store():
+        if record.is_store and lsq.sq_used + self._lsq_need > lsq.sq_capacity:
             return "stall_lsq"
         return None
 
     def _allocate_dispatch(self, record: InFlightInst, now: int) -> None:
+        # _can_allocate_dispatch just verified every resource (with the
+        # reserve honoured), so take them directly.
         dyn = record.dyn
         if record.rf_class is not None:
-            self.regfile.allocate(record.rf_class)
+            self._rf_free[record.rf_class] -= 1
             record.rf_allocated = True
-        if dyn.is_load:
-            self.lsq.allocate_load()
+        if record.is_load:
+            self.lsq.lq_used += 1
             record.lq_allocated = True
-        if dyn.is_store:
+        if record.is_store:
             self.lsq.allocate_store(dyn.seq, dyn.pc)
             record.sq_allocated = True
-        self.rob.push(record)
+        self._rob_entries.append(record)
         self.iq.insert(record)
         self.stats.iq_writes += 1
 
@@ -451,7 +581,11 @@ class Pipeline:
         waiting = 0
         for producer in record.producer_records:
             if producer is not None and not producer.done:
-                producer.consumers.append(record)
+                consumers = producer.consumers
+                if consumers:
+                    consumers.append(record)
+                else:  # first consumer: swap the shared () for a list
+                    producer.consumers = [record]
                 waiting += 1
         record.waiting_on = waiting
         if waiting == 0 and record.in_iq:
@@ -510,10 +644,10 @@ class Pipeline:
                 and not self.regfile.can_allocate(record.rf_class,
                                                   honor_reserve=False)):
             return False
-        if dyn.is_load and not record.lq_allocated:
+        if record.is_load and not record.lq_allocated:
             if not self.lsq.can_allocate_load(honor_reserve=False):
                 return False
-        if dyn.is_store and not record.sq_allocated:
+        if record.is_store and not record.sq_allocated:
             if not self.lsq.can_allocate_store(honor_reserve=False):
                 return False
 
@@ -521,13 +655,13 @@ class Pipeline:
         if record.rf_class is not None and not record.rf_allocated:
             self.regfile.allocate(record.rf_class, honor_reserve=False)
             record.rf_allocated = True
-        if dyn.is_load and not record.lq_allocated:
+        if record.is_load and not record.lq_allocated:
             self.lsq.allocate_load()
             record.lq_allocated = True
-        if dyn.is_store and not record.sq_allocated:
+        if record.is_store and not record.sq_allocated:
             self.lsq.allocate_store(dyn.seq, dyn.pc)
             record.sq_allocated = True
-        if dyn.is_store:
+        if record.is_store:
             count = self._parked_store_pcs.get(dyn.pc, 0)
             if count <= 1:
                 self._parked_store_pcs.pop(dyn.pc, None)
@@ -544,6 +678,73 @@ class Pipeline:
     # issue / execute
     # ==================================================================
     def _issue(self, now: int) -> bool:
+        iq = self.iq
+        if not iq._ready_heap:
+            return False
+        fu_used = self._fu_used
+        fu_used.clear()
+        fu_counts = self.params.fu_counts
+        fu_busy_until = self._fu_busy_until
+        execute = self._execute
+
+        def try_issue(record: InFlightInst) -> bool:
+            group = record.fu_group
+            used = fu_used.get(group, 0)
+            if used >= fu_counts.get(group, 1):
+                return False
+            if record.nonpipelined and now < fu_busy_until.get(group, 0):
+                return False
+            if not execute(record, now):
+                return False
+            fu_used[group] = used + 1
+            return True
+
+        picked = iq.select(try_issue, self.params.issue_width)
+        if not picked:
+            return False
+        stats = self.stats
+        for record in picked:
+            record.issue_cycle = now
+            stats.issued += 1
+            stats.rf_reads += record.dyn.n_srcs
+        return True
+
+    def _execute(self, record: InFlightInst, now: int) -> bool:
+        """Compute the completion time; return False to retry later."""
+        if record.is_load:
+            return self._execute_load(record, now)
+
+        dyn = record.dyn
+        if record.is_store:
+            addr = dyn.addr
+            resolve_cycle = now + self._lat_agu
+            self.lsq.store_executed(dyn.seq, addr, resolve_cycle)
+            self._check_violation(record, addr, resolve_cycle)
+            completion = resolve_cycle + self._lat_store
+            record.completion_cycle = completion
+            _heappush(self._events,
+                      (completion, record.seq, _EV_COMPLETE, record))
+            return True
+
+        latency = self._lat_by_class[dyn.op_class]
+        completion = now + latency
+        if record.nonpipelined:
+            self._fu_busy_until[record.fu_group] = completion
+            if record.own_ticket is not None:
+                lead = min(self.params.mem.dram_wakeup_lead, latency)
+                self._schedule_tag(record, completion - lead)
+        record.completion_cycle = completion
+        _heappush(self._events, (completion, record.seq, _EV_COMPLETE, record))
+        return True
+
+    # ------------------------------------------------------------------
+    # reference (non-pre-decoded) issue/execute path.  Semantically
+    # identical to the fast path above but derives every piece of
+    # per-instruction metadata from the authoritative opcode tables per
+    # use, exactly like the original implementation.  Differential tests
+    # run both paths and assert bit-identical statistics.
+    # ------------------------------------------------------------------
+    def _issue_reference(self, now: int) -> bool:
         fu_used: Dict[str, int] = {}
         params = self.params
 
@@ -554,7 +755,7 @@ class Pipeline:
             if record.dyn.op_class in _NONPIPELINED:
                 if now < self._fu_busy_until.get(group, 0):
                     return False
-            if not self._execute(record, now):
+            if not self._execute_reference(record, now):
                 return False
             fu_used[group] = fu_used.get(group, 0) + 1
             return True
@@ -566,16 +767,15 @@ class Pipeline:
             self.stats.rf_reads += len(record.dyn.inst.srcs)
         return bool(picked)
 
-    def _execute(self, record: InFlightInst, now: int) -> bool:
-        """Compute the completion time; return False to retry later."""
+    def _execute_reference(self, record: InFlightInst, now: int) -> bool:
         dyn = record.dyn
-        op_class = dyn.op_class
+        op_class = dyn.inst.op_class
         latencies = self.params.latencies
 
-        if dyn.is_load:
+        if op_class is OpClass.LOAD:
             return self._execute_load(record, now)
 
-        if dyn.is_store:
+        if op_class is OpClass.STORE:
             agu = latencies["agu"]
             addr = dyn.addr
             resolve_cycle = now + agu
@@ -598,8 +798,7 @@ class Pipeline:
 
     def _execute_load(self, record: InFlightInst, now: int) -> bool:
         dyn = record.dyn
-        latencies = self.params.latencies
-        agu = latencies["agu"]
+        agu = self._lat_agu
         addr = dyn.addr
 
         state, entry = self.lsq.older_store_state(dyn.seq, addr, now)
@@ -608,7 +807,7 @@ class Pipeline:
                 return False  # wait for the store's address
             # speculate past the unknown store
         elif state == "forward":
-            completion = now + agu + latencies["forward"]
+            completion = now + agu + self._lat_forward
             record.mem_level = "forward"
             self._schedule_completion(record, completion)
             self._schedule_tag(record, completion)
@@ -662,11 +861,11 @@ class Pipeline:
 
     def _schedule_completion(self, record: InFlightInst, cycle: int) -> None:
         record.completion_cycle = cycle
-        heapq.heappush(self._events, (cycle, record.seq, _EV_COMPLETE, record))
+        _heappush(self._events, (cycle, record.seq, _EV_COMPLETE, record))
 
     def _schedule_tag(self, record: InFlightInst, cycle: int) -> None:
         if record.own_ticket is not None:
-            heapq.heappush(self._events, (cycle, record.seq, _EV_TAG, record))
+            _heappush(self._events, (cycle, record.seq, _EV_TAG, record))
 
     # ==================================================================
     # writeback
@@ -676,35 +875,39 @@ class Pipeline:
         width = self.params.writeback_width
         completed = 0
         progress = False
+        controller_tag = self.controller.on_tag_known
+        complete = self._complete
         while events and events[0][0] <= now:
             if events[0][2] == _EV_COMPLETE and completed >= width:
                 break
-            _, _, kind, record = heapq.heappop(events)
+            _, _, kind, record = _heappop(events)
             if kind == _EV_TAG:
-                self.controller.on_tag_known(record)
+                controller_tag(record)
                 progress = True
                 continue
             completed += 1
             progress = True
-            self._complete(record, now)
+            complete(record, now)
         return progress
 
     def _complete(self, record: InFlightInst, now: int) -> None:
         record.done = True
-        dyn = record.dyn
-        if dyn.has_dst:
-            self.stats.rf_writes += 1
+        stats = self.stats
+        if record.has_dst:
+            stats.rf_writes += 1
+        iq_mark_ready = self.iq.mark_ready
         for consumer in record.consumers:
-            consumer.waiting_on -= 1
-            if consumer.waiting_on == 0 and consumer.in_iq:
-                self.iq.mark_ready(consumer)
+            waiting = consumer.waiting_on - 1
+            consumer.waiting_on = waiting
+            if waiting == 0 and consumer.in_iq:
+                iq_mark_ready(consumer)
         self._ll_remove(record)
         if record.own_ticket is not None:
             # safety net: clear tickets no later than completion
             self.controller.on_tag_known(record)
-        if dyn.is_load:
+        if record.is_load:
             self.controller.on_load_complete(record, record.actual_ll)
-        if dyn.seq == self._fetch_blocked_on:
+        if record.seq == self._fetch_blocked_on:
             self._fetch_blocked_on = None
             self._fetch_stall_until = now + self.params.mispredict_penalty
 
@@ -714,33 +917,43 @@ class Pipeline:
     def _commit(self, now: int) -> bool:
         if now < self._commit_stall_until:
             return False
+        rob_entries = self._rob_entries
+        if not rob_entries or not rob_entries[0].done:
+            return False
         committed = 0
+        width = self.params.commit_width
         stats = self.stats
-        while committed < self.params.commit_width:
-            head = self.rob.head()
-            if head is None or not head.done:
-                break
-            self.rob.pop()
+        controller_commit = self.controller.on_commit
+        regfile_release = self.regfile.release
+        lsq = self.lsq
+        pop = rob_entries.popleft
+        head = rob_entries[0]
+        while committed < width:
+            pop()
             dyn = head.dyn
-            if dyn.has_dst:
+            if head.has_dst:
                 # frees the previous mapping of the architectural register
-                self.regfile.release(head.rf_class)
-            if dyn.is_load:
-                self.lsq.release_load()
+                regfile_release(head.rf_class)
+            if head.is_load:
+                lsq.release_load()
                 self._untrack_open_load(head)
                 stats.committed_loads += 1
-            elif dyn.is_store:
+            elif head.is_store:
                 self.hierarchy.commit_store(dyn.addr)
-                self.lsq.release_store(dyn.seq)
+                lsq.release_store(dyn.seq)
                 stats.committed_stores += 1
             elif dyn.is_branch:
                 stats.committed_branches += 1
-            self.controller.on_commit(head)
+            controller_commit(head)
             committed += 1
             stats.committed += 1
-        if committed:
-            self._last_commit_cycle = now
-        return committed > 0
+            if not rob_entries:
+                break
+            head = rob_entries[0]
+            if not head.done:
+                break
+        self._last_commit_cycle = now
+        return True
 
     # ==================================================================
     # wrap-up

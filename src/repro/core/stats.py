@@ -108,6 +108,36 @@ class SimStats:
     def average_occupancy(self, name: str) -> float:
         return self.occupancies[name].average(self.cycles)
 
+    def occupancy_integrals(self) -> Dict[str, int]:
+        """Exact per-structure time integrals (strict equivalence tests)."""
+        return {name: occ.integral for name, occ in self.occupancies.items()}
+
+    def equivalence_signature(self) -> Dict[str, float]:
+        """The execution-mode-invariant statistics.
+
+        Everything here must be bit-identical across strict
+        (``allow_skip=False``) and idle-jumping execution, and across
+        the pre-decoded and reference issue paths.  Per-*attempt*
+        counters (stall attribution, classification tallies, UIT
+        activity) are deliberately excluded: strict mode retries blocked
+        rename attempts every cycle that idle-jumping elides, so those
+        counters legitimately differ between modes.
+        """
+        sig: Dict[str, float] = {}
+        for key in ("cycles", "committed", "committed_loads",
+                    "committed_stores", "committed_branches", "fetched",
+                    "renamed", "issued", "branch_mispredicts",
+                    "memory_violations", "ltp_parked", "ltp_released",
+                    "ltp_enabled_cycles", "long_latency_loads",
+                    "iq_writes", "rf_reads", "rf_writes",
+                    "ltp_writes", "ltp_reads"):
+            sig[key] = getattr(self, key)
+        sig["ipc"] = self.ipc
+        for name, occ in self.occupancies.items():
+            sig[f"integral_{name}"] = occ.integral
+            sig[f"peak_{name}"] = occ.peak
+        return sig
+
     def as_dict(self) -> Dict[str, float]:
         """Flatten to a plain dict (for caching / reports)."""
         out: Dict[str, float] = {}

@@ -42,8 +42,10 @@ class ResultCache:
         self.misses += 1
         return None
 
-    def put(self, key: str, value: dict) -> None:
+    def put(self, key: str, value: dict, disk: bool = True) -> None:
         self._memory[key] = value
+        if not disk:
+            return
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=str(self.directory),

@@ -4,11 +4,19 @@ Every function sweeps configurations through :func:`run_sim` (cached) and
 returns a plain dict; the matching ``render_*`` function prints the rows
 or series the paper's figure plots.  See DESIGN.md for the experiment
 index and EXPERIMENTS.md for paper-vs-measured results.
+
+Sweeps parallelise via a plan/execute split: :func:`plan_configs` runs
+an experiment function in *planning mode* — :func:`_run` records every
+:class:`SimConfig` it would simulate and returns placeholder statistics
+so the sweep's control flow completes without simulating anything —
+then :func:`run_parallel` executes the recorded configurations across a
+``multiprocessing`` pool (:func:`repro.harness.runner.run_sims`) and
+re-runs the experiment for real, where every point is a cache hit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.aggregate import (arithmetic_mean, geometric_mean,
                                       mean_relative_performance)
@@ -17,7 +25,7 @@ from repro.core.params import CoreParams, baseline_params, ltp_params
 from repro.energy.model import compute_energy, relative_ed2p
 from repro.harness.config import SimConfig
 from repro.harness.report import render_table, size_label
-from repro.harness.runner import run_sim
+from repro.harness.runner import run_sim, run_sims
 from repro.ltp.config import LTPConfig, limit_ltp, no_ltp, proposed_ltp
 from repro.ltp.oracle import annotate_trace
 from repro.workloads import (MLP_INSENSITIVE, MLP_SENSITIVE, get_workload,
@@ -48,6 +56,23 @@ def _group_members(group: str) -> List[str]:
     return [group]
 
 
+class _PlanStats(dict):
+    """Placeholder result used while planning a sweep.
+
+    Returns a neutral ``1`` for any statistic so the aggregation code an
+    experiment runs over its results (means, ratios, energy) completes
+    without touching the simulator.  The values are discarded — planning
+    only exists to record which configurations the sweep needs.
+    """
+
+    def __missing__(self, key: str) -> int:
+        return 1
+
+
+#: when not None, _run records configs here instead of simulating
+_plan_sink: Optional[List[SimConfig]] = None
+
+
 def _run(workload: str, core: CoreParams, ltp: LTPConfig,
          warmup: Optional[int], measure: Optional[int]) -> dict:
     config = SimConfig(workload=workload, core=core, ltp=ltp)
@@ -55,7 +80,50 @@ def _run(workload: str, core: CoreParams, ltp: LTPConfig,
         config.warmup = warmup
     if measure is not None:
         config.measure = measure
+    if _plan_sink is not None:
+        _plan_sink.append(config)
+        return _PlanStats()
     return run_sim(config)
+
+
+def plan_configs(experiment: Callable, *args, **kwargs) -> List[SimConfig]:
+    """Enumerate the configurations *experiment* would simulate.
+
+    Runs the experiment with :func:`_run` in recording mode; duplicate
+    configurations are dropped (first occurrence kept), preserving the
+    sweep's deterministic order.
+    """
+    global _plan_sink
+    if _plan_sink is not None:
+        raise RuntimeError("planning is not reentrant")
+    sink: List[SimConfig] = []
+    _plan_sink = sink
+    try:
+        experiment(*args, **kwargs)
+    finally:
+        _plan_sink = None
+    seen: Dict[str, None] = {}
+    unique: List[SimConfig] = []
+    for config in sink:
+        key = config.key()
+        if key not in seen:
+            seen[key] = None
+            unique.append(config)
+    return unique
+
+
+def run_parallel(experiment: Callable, *args,
+                 jobs: Optional[int] = None, **kwargs):
+    """Run *experiment*, executing its sweep points across processes.
+
+    Equivalent to calling the experiment directly (identical return
+    value) but wall-clock time scales with cores: the sweep is planned,
+    executed via :func:`repro.harness.runner.run_sims`, and the final
+    in-process pass aggregates from the populated cache.
+    """
+    configs = plan_configs(experiment, *args, **kwargs)
+    run_sims(configs, jobs=jobs)
+    return experiment(*args, **kwargs)
 
 
 def _group_perf(group: str, core: CoreParams, ltp: LTPConfig,

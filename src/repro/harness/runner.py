@@ -12,12 +12,23 @@ instruction SimPoint.  The runner mirrors that shape:
 4. run the timing pipeline over the measured slice.
 
 Results are cached on disk keyed by the full configuration hash;
-re-running a sweep is free.
+re-running a sweep is free.  :func:`run_sims` executes a batch of
+independent configurations across a ``multiprocessing`` pool — trace
+generation is deterministic, so each worker regenerates what it needs,
+and the disk cache's atomic writes make concurrent writers safe.
+
+In-process memoisation is bounded: the trace cache keeps only the
+longest trace per workload (callers get a shared or freshly-sliced
+prefix, never a retained duplicate per distinct length) and both it and
+the oracle cache evict least-recently-used entries beyond a small cap.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import multiprocessing
+import os
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.branch import GsharePredictor
 from repro.core.params import CoreParams, cap
@@ -31,30 +42,51 @@ from repro.memory.cache import block_of
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.workloads import get_workload
 
-_trace_cache: Dict[Tuple[str, int], List[DynInst]] = {}
-_oracle_cache: Dict[Tuple[str, int, str, int], OracleInfo] = {}
+#: workload name -> (max length ever requested, longest trace so far);
+#: a trace shorter than its requested length means the workload halts
+#: early and the trace is complete (LRU, bounded)
+_trace_cache: "OrderedDict[str, Tuple[int, List[DynInst]]]" = OrderedDict()
+_TRACE_CACHE_MAX = 8
+
+#: (workload, length, mem key, window) -> oracle annotation (LRU, bounded)
+_oracle_cache: "OrderedDict[Tuple[str, int, str, int], OracleInfo]" = \
+    OrderedDict()
+_ORACLE_CACHE_MAX = 16
+
 _result_cache = ResultCache()
 
 
 def get_trace(workload_name: str, length: int) -> List[DynInst]:
-    """Build (and memoise) the first *length* instructions of a workload."""
-    key = (workload_name, length)
-    trace = _trace_cache.get(key)
-    if trace is None:
-        # reuse a longer cached trace when one exists
-        for (name, cached_len), cached in _trace_cache.items():
-            if name == workload_name and cached_len >= length:
-                trace = cached[:length]
-                break
-        else:
-            trace = get_workload(workload_name).trace(length)
-        _trace_cache[key] = trace
-    return trace
+    """Build (and memoise) the first *length* instructions of a workload.
+
+    Only the longest trace per workload is retained; shorter requests
+    return a slice of it, so distinct sweep lengths never pile up
+    duplicate copies in memory.
+    """
+    cached = _trace_cache.get(workload_name)
+    if cached is not None:
+        max_requested, full = cached
+        # shorter than an earlier request => the workload halts there
+        # and the trace is complete; never regenerate it
+        complete = len(full) < max_requested
+        if len(full) < length and not complete:
+            full = get_workload(workload_name).trace(length)
+        if length > max_requested or full is not cached[1]:
+            _trace_cache[workload_name] = (max(length, max_requested), full)
+    else:
+        full = get_workload(workload_name).trace(length)
+        _trace_cache[workload_name] = (length, full)
+    _trace_cache.move_to_end(workload_name)
+    while len(_trace_cache) > _TRACE_CACHE_MAX:
+        _trace_cache.popitem(last=False)
+    if len(full) <= length:
+        return full
+    return full[:length]
 
 
 def get_oracle(workload_name: str, length: int, core: CoreParams,
                trace: List[DynInst]) -> OracleInfo:
-    """Oracle annotation over the full trace (cached)."""
+    """Oracle annotation over the full trace (cached, LRU-bounded)."""
     window = min(cap(core.rob_size), 4096)
     mem_key = (f"{core.mem.l1d_size}/{core.mem.l2_size}/{core.mem.l3_size}/"
                f"{core.mem.prefetch_degree}")
@@ -65,6 +97,9 @@ def get_oracle(workload_name: str, length: int, core: CoreParams,
         oracle = annotate_trace(trace, core.mem, window=window,
                                 warm_regions=workload.warm_regions)
         _oracle_cache[key] = oracle
+    _oracle_cache.move_to_end(key)
+    while len(_oracle_cache) > _ORACLE_CACHE_MAX:
+        _oracle_cache.popitem(last=False)
     return oracle
 
 
@@ -139,6 +174,80 @@ def run_sim(config: SimConfig, use_cache: bool = True) -> dict:
     if use_cache:
         _result_cache.put(key, result)
     return result
+
+
+# ======================================================================
+# parallel batch execution
+# ======================================================================
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` env var, else the CPU count."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _run_sim_indexed(item: Tuple[int, SimConfig, bool]) -> Tuple[int, dict]:
+    index, config, use_cache = item
+    return index, run_sim(config, use_cache=use_cache)
+
+
+def run_sims(configs: Iterable[SimConfig], jobs: Optional[int] = None,
+             use_cache: bool = True) -> List[dict]:
+    """Run independent configurations, fanning out across processes.
+
+    Results come back in the order of *configs* (deterministic
+    aggregation regardless of worker scheduling).  Configurations whose
+    results are already cached are resolved in-process; the rest are
+    distributed over ``jobs`` workers (default :func:`default_jobs`).
+    Workers populate the shared disk cache — its atomic replace-on-write
+    keeps concurrent writers safe — and the parent re-inserts every
+    result into its in-memory cache, so a subsequent sequential pass
+    over the same sweep is free.
+    """
+    config_list = list(configs)
+    if jobs is None:
+        jobs = default_jobs()
+    results: dict = {}
+    pending: List[Tuple[int, SimConfig, bool]] = []
+    primary: Dict[str, int] = {}          # key -> index that simulates it
+    duplicates: List[Tuple[int, str]] = []
+    for index, config in enumerate(config_list):
+        config.validate()
+        key = config.key()
+        cached = _result_cache.get(key) if use_cache else None
+        if cached is not None:
+            results[index] = cached
+        elif key in primary:  # simulate each distinct config once
+            duplicates.append((index, key))
+        else:
+            primary[key] = index
+            pending.append((index, config, use_cache))
+
+    if pending and (jobs <= 1 or len(pending) == 1):
+        for index, config, _ in pending:
+            results[index] = run_sim(config, use_cache=use_cache)
+    elif pending:
+        methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in methods else None
+        ctx = multiprocessing.get_context(method)
+        workers = min(jobs, len(pending))
+        with ctx.Pool(processes=workers) as pool:
+            for index, result in pool.imap_unordered(
+                    _run_sim_indexed, pending):
+                results[index] = result
+                if use_cache:
+                    # the worker already wrote the disk cache; keep only
+                    # the in-memory copy here
+                    _result_cache.put(config_list[index].key(), result,
+                                      disk=False)
+    for index, key in duplicates:
+        results[index] = results[primary[key]]
+
+    return [results[index] for index in range(len(config_list))]
 
 
 def clear_memory_caches() -> None:

@@ -99,6 +99,25 @@ OPCODES = {
 }
 
 
+#: functional-unit pool serving each class (drives issue-port contention)
+FU_GROUP = {
+    OpClass.INT_ALU: "alu",
+    OpClass.INT_MUL: "muldiv",
+    OpClass.INT_DIV: "muldiv",
+    OpClass.FP_ADD: "fp",
+    OpClass.FP_MUL: "fp",
+    OpClass.FP_DIV: "fp",
+    OpClass.LOAD: "mem",
+    OpClass.STORE: "mem",
+    OpClass.BRANCH: "alu",
+    OpClass.JUMP: "alu",
+    OpClass.NOP: "alu",
+}
+
+#: classes that occupy their (non-pipelined) functional unit exclusively
+NONPIPELINED_CLASSES = frozenset((OpClass.INT_DIV, OpClass.FP_DIV))
+
+
 class InstructionError(ValueError):
     """Raised when an instruction is malformed."""
 

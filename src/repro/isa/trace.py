@@ -12,6 +12,14 @@ The timing model treats ``src_producers`` as the rename result: it is
 exactly the mapping a RAT would compute, so the timing model can key its
 scoreboard by sequence number and model the physical register file purely
 as an occupancy resource.
+
+Because the pipeline touches every record many times per simulated
+cycle, all per-instruction metadata the hot loop needs — operation
+class, load/store/branch flags, FU group, the non-pipelined flag, the
+register-file class of the destination, and the instruction's byte
+address in the code region — is *pre-decoded once* here at trace build
+time and stored in plain ``__slots__`` attributes.  The timing model
+never performs a property call or opcode-table lookup per cycle.
 """
 
 from __future__ import annotations
@@ -19,10 +27,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.isa.instructions import Instruction, OpClass
+from repro.isa.instructions import (FU_GROUP, NONPIPELINED_CLASSES,
+                                    Instruction, OpClass)
+
+#: byte address of static instruction 0 (code lives far from data)
+CODE_BASE = 1 << 40
+INST_BYTES = 4
 
 
-@dataclass
+@dataclass(eq=False)
 class DynInst:
     """One dynamic instruction instance.
 
@@ -38,10 +51,20 @@ class DynInst:
             memory replay in tests.
         taken: actual branch direction (branches only).
         next_pc: static index of the successor instruction.
+
+    Pre-decoded (derived from ``inst``/``pc`` in ``__post_init__``):
+        op_class, is_load, is_store, is_mem, is_branch, is_control,
+        has_dst, writes_fp, rf_class (``"int"``/``"fp"``/``None``),
+        fu_group, nonpipelined, n_srcs, and code_addr (the instruction's
+        byte address, ``CODE_BASE + pc * INST_BYTES``).
     """
 
     __slots__ = ("seq", "pc", "inst", "src_producers", "addr",
-                 "store_value", "taken", "next_pc")
+                 "store_value", "taken", "next_pc",
+                 # pre-decoded metadata (set in __post_init__)
+                 "op_class", "is_load", "is_store", "is_mem", "is_branch",
+                 "is_control", "has_dst", "writes_fp", "rf_class",
+                 "fu_group", "nonpipelined", "n_srcs", "code_addr")
 
     seq: int
     pc: int
@@ -52,33 +75,35 @@ class DynInst:
     taken: Optional[bool]
     next_pc: int
 
-    @property
-    def op_class(self) -> OpClass:
-        return self.inst.op_class
+    def __post_init__(self) -> None:
+        inst = self.inst
+        op_class = inst.op_class
+        self.op_class = op_class
+        self.is_load = op_class is OpClass.LOAD
+        self.is_store = op_class is OpClass.STORE
+        self.is_mem = self.is_load or self.is_store
+        self.is_branch = op_class is OpClass.BRANCH
+        self.is_control = self.is_branch or op_class is OpClass.JUMP
+        has_dst = inst.dst is not None
+        self.has_dst = has_dst
+        writes_fp = has_dst and inst.writes_fp
+        self.writes_fp = writes_fp
+        self.rf_class = ("fp" if writes_fp else "int") if has_dst else None
+        self.fu_group = FU_GROUP[op_class]
+        self.nonpipelined = op_class in NONPIPELINED_CLASSES
+        self.n_srcs = len(inst.srcs)
+        self.code_addr = CODE_BASE + self.pc * INST_BYTES
 
-    @property
-    def is_load(self) -> bool:
-        return self.inst.is_load
-
-    @property
-    def is_store(self) -> bool:
-        return self.inst.is_store
-
-    @property
-    def is_mem(self) -> bool:
-        return self.inst.is_mem
-
-    @property
-    def is_branch(self) -> bool:
-        return self.inst.is_branch
-
-    @property
-    def is_control(self) -> bool:
-        return self.inst.is_control
-
-    @property
-    def has_dst(self) -> bool:
-        return self.inst.dst is not None
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DynInst):
+            return NotImplemented
+        return (self.seq == other.seq and self.pc == other.pc
+                and self.inst == other.inst
+                and self.src_producers == other.src_producers
+                and self.addr == other.addr
+                and self.store_value == other.store_value
+                and self.taken == other.taken
+                and self.next_pc == other.next_pc)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         extra = []

@@ -39,14 +39,16 @@ class OnlineClassifier:
         Returns True when the instruction is Urgent.
         """
         dyn = record.dyn
-        urgent = self.uit.contains(dyn.pc)
+        pc = dyn.pc
+        urgent = self.uit.contains(pc)
         if urgent:
+            producer_pcs = self._producer_pc
             for reg in dyn.inst.srcs:
-                producer_pc = self._producer_pc.get(reg)
+                producer_pc = producer_pcs.get(reg)
                 if producer_pc is not None:
                     self.uit.insert(producer_pc)
-        if dyn.inst.dst is not None:
-            self._producer_pc[dyn.inst.dst] = dyn.pc
+        if dyn.has_dst:
+            self._producer_pc[dyn.inst.dst] = pc
         return urgent
 
     def on_long_latency_commit(self, pc: int) -> None:

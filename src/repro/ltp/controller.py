@@ -23,7 +23,7 @@ from repro.core.inflight import InFlightInst
 from repro.ltp.classifier import OnlineClassifier, OracleClassifier
 from repro.ltp.config import LTPConfig
 from repro.ltp.monitor import DramTimerMonitor
-from repro.ltp.oracle import LONG_FIXED_CLASSES, OracleInfo
+from repro.ltp.oracle import OracleInfo
 from repro.ltp.predictor import HitMissPredictor
 from repro.ltp.queue import LTPQueue
 from repro.ltp.tickets import TicketPool, TicketTracker
@@ -72,7 +72,9 @@ class LTPController:
     # ------------------------------------------------------------------
     def predict_long_latency(self, record: InFlightInst) -> bool:
         dyn = record.dyn
-        if dyn.op_class in LONG_FIXED_CLASSES:
+        # pre-decoded nonpipelined <=> op class in LONG_FIXED_CLASSES
+        # (both are exactly the divide classes)
+        if dyn.nonpipelined:
             return True
         if not dyn.is_load:
             return False

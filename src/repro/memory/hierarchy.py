@@ -153,7 +153,9 @@ class MemoryHierarchy:
             self._outstanding -= 1
         self._outstanding_integral += self._outstanding * (now - t)
         self._last_advance_cycle = now
-        self.mshrs.expire(now)
+        expiry = self.mshrs._expiry
+        if expiry and expiry[0][0] <= now:
+            self.mshrs.expire(now)
 
     def _track_outstanding(self, start: int, complete: int) -> None:
         self._outstanding += 1
