@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Quickstart: reproduce the paper's headline result on one workload.
 
-Runs three configurations of the milc-like kernel:
+Runs three configurations of the milc-like kernel through the
+:mod:`repro.api` session layer:
 
 1. the baseline core (IQ 64, RF 128),
 2. the shrunken core (IQ 32, RF 96) without LTP — it loses performance,
@@ -15,27 +16,41 @@ Usage::
 
 import sys
 
-from repro import (SimConfig, baseline_params, ltp_params, no_ltp,
-                   proposed_ltp, run_sim)
+from repro import (Session, SimConfig, baseline_params, ltp_params,
+                   no_ltp, proposed_ltp)
 from repro.harness.report import render_table
 
 
 def main() -> None:
     workload = sys.argv[1] if len(sys.argv) > 1 else "lattice_milc"
-    configs = [
-        ("baseline IQ:64 RF:128", baseline_params(), no_ltp()),
-        ("small IQ:32 RF:96", ltp_params(), no_ltp()),
-        ("small + LTP (proposed)", ltp_params(), proposed_ltp()),
+    labels_and_configs = [
+        ("baseline IQ:64 RF:128",
+         SimConfig(workload=workload, core=baseline_params(), ltp=no_ltp())),
+        ("small IQ:32 RF:96",
+         SimConfig(workload=workload, core=ltp_params(), ltp=no_ltp())),
+        ("small + LTP (proposed)",
+         SimConfig(workload=workload, core=ltp_params(),
+                   ltp=proposed_ltp())),
     ]
+
+    # A Session owns the trace/oracle/result caches and the execution
+    # backend; run_many simulates each distinct config exactly once and
+    # returns typed SimResults in order.
+    #
+    # The legacy one-liner still works and is equivalent to running on
+    # the process-global default session:
+    #
+    #     from repro import run_sim
+    #     stats = run_sim(config)          # plain stats dict
+    with Session() as session:
+        results = session.run_many([c for _, c in labels_and_configs])
+
     rows = []
-    base_cycles = None
-    for label, core, ltp in configs:
-        result = run_sim(SimConfig(workload=workload, core=core, ltp=ltp))
-        if base_cycles is None:
-            base_cycles = result["cycles"]
+    base_cycles = results[0]["cycles"]
+    for (label, _), result in zip(labels_and_configs, results):
         rows.append([
             label,
-            result["cpi"],
+            result.cpi,
             (base_cycles / result["cycles"] - 1.0) * 100.0,
             result["avg_outstanding"],
             result["avg_ltp"],
@@ -48,6 +63,8 @@ def main() -> None:
     print()
     print("The third row should recover (or beat) the first row's CPI "
           "with half the IQ and 25% fewer registers.")
+    sources = ", ".join(f"{r.source}" for r in results)
+    print(f"(result sources this run: {sources})")
 
 
 if __name__ == "__main__":

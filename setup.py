@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=("Long Term Parking (LTP): criticality-aware resource "
                  "allocation in OOO processors — MICRO 2015 reproduction"),
     python_requires=">=3.9",

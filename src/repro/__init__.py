@@ -19,21 +19,33 @@ The package layers:
 * :mod:`repro.harness` — cached simulation runner and one experiment
   function per paper table/figure.
 
+* :mod:`repro.api` — the supported programmatic surface: sessions that
+  own caches and backends, declarative sweep specs, typed results and
+  the experiment registry.
+
 Quick start::
 
-    from repro import SimConfig, run_sim, ltp_params, proposed_ltp
+    from repro import Session, SimConfig, ltp_params, proposed_ltp
 
     config = SimConfig(workload="lattice_milc", core=ltp_params(),
                        ltp=proposed_ltp())
-    stats = run_sim(config)
-    print(stats["cpi"], stats["avg_ltp"])
+    with Session() as session:
+        result = session.run(config)
+    print(result.cpi, result["avg_ltp"])
+
+(the legacy ``run_sim(config) -> dict`` entry point remains available
+and runs on the process-global default session).
 """
 
+from repro.api import (ExecutionBackend, ProcessPoolBackend, SerialBackend,
+                       Session, SimResult, SweepSpec, default_session,
+                       experiment_names, get_experiment, ltp_preset,
+                       ltp_preset_names, set_default_session)
 from repro.core.params import CoreParams, baseline_params, ltp_params
 from repro.core.pipeline import Pipeline, SimulationDeadlock, simulate
 from repro.core.stats import SimStats
 from repro.harness.config import SimConfig
-from repro.harness.runner import run_sim
+from repro.harness.runner import run_sim, run_sims
 from repro.ltp.config import (LTPConfig, limit_ltp, no_ltp,
                               proposed_ltp, wib_ltp)
 from repro.ltp.oracle import OracleInfo, annotate_trace
@@ -42,31 +54,44 @@ from repro.workloads import (Workload, full_suite, get_workload,
                              mlp_insensitive_suite, mlp_sensitive_suite,
                              workload_names)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CoreParams",
+    "ExecutionBackend",
     "LTPConfig",
     "MemParams",
     "MemoryHierarchy",
     "OracleInfo",
     "Pipeline",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "Session",
     "SimConfig",
+    "SimResult",
     "SimStats",
     "SimulationDeadlock",
+    "SweepSpec",
     "Workload",
     "annotate_trace",
     "baseline_params",
+    "default_session",
+    "experiment_names",
     "full_suite",
+    "get_experiment",
     "get_workload",
     "limit_ltp",
     "ltp_params",
+    "ltp_preset",
+    "ltp_preset_names",
     "mlp_insensitive_suite",
     "mlp_sensitive_suite",
     "no_ltp",
     "proposed_ltp",
-    "wib_ltp",
     "run_sim",
+    "run_sims",
+    "set_default_session",
     "simulate",
+    "wib_ltp",
     "workload_names",
 ]

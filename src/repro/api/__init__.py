@@ -1,0 +1,55 @@
+"""repro.api — the supported programmatic surface of the reproduction.
+
+The API layer is organised around four ideas:
+
+* :class:`Session` — owns the trace/oracle/result caches and an
+  execution backend; the one object services and tests hold on to.
+  :func:`default_session` is the process-global instance behind the
+  legacy ``run_sim``/``run_sims`` shims.
+* Declarative specs — :class:`~repro.harness.config.SimConfig`
+  round-trips through dicts, and :class:`SweepSpec` expands axis
+  products into validated configuration lists.
+* :class:`ExecutionBackend` — pluggable batch execution
+  (:class:`SerialBackend`, :class:`ProcessPoolBackend` today).
+* :class:`SimResult` — typed results with cache provenance and wall
+  time, JSON-ready via ``to_dict()``.
+
+Quick start::
+
+    from repro.api import Session, SweepSpec
+
+    with Session() as session:
+        spec = SweepSpec(workloads=["lattice_milc"],
+                         axes={"core.iq_size": [16, 32, 64]})
+        for result in session.sweep(spec):
+            print(result.config.core.iq_size, result.cpi)
+"""
+
+from repro.api.backends import (ExecutionBackend, ProcessPoolBackend,
+                                SerialBackend)
+from repro.api.registry import (Experiment, experiment, experiment_names,
+                                get_experiment, renderer)
+from repro.api.result import SimResult
+from repro.api.session import Session, default_session, set_default_session
+from repro.api.spec import SweepSpec
+from repro.harness.config import SimConfig
+from repro.ltp.config import ltp_preset, ltp_preset_names
+
+__all__ = [
+    "Experiment",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "Session",
+    "SimConfig",
+    "SimResult",
+    "SweepSpec",
+    "default_session",
+    "experiment",
+    "experiment_names",
+    "get_experiment",
+    "ltp_preset",
+    "ltp_preset_names",
+    "renderer",
+    "set_default_session",
+]

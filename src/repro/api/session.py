@@ -1,0 +1,331 @@
+"""Sessions: explicit ownership of simulation state and execution.
+
+A :class:`Session` owns everything that used to live as module-global
+mutable state in :mod:`repro.harness.runner`:
+
+* the bounded in-process **trace cache** (longest trace per workload,
+  LRU beyond a cap),
+* the bounded **oracle cache** (annotations keyed by workload, length,
+  memory geometry and window),
+* the **result cache** (memory + disk, directory configurable via
+  ``Session(cache_dir=...)`` or the ``REPRO_CACHE_DIR`` env var),
+* the **execution backend** used for batches
+  (:class:`~repro.api.backends.SerialBackend` by default).
+
+Sessions are context managers — leaving the ``with`` block drops the
+in-memory caches — and independent sessions never share state, so tests
+and services can isolate cache lifetimes explicitly.  A process-global
+default session (:func:`default_session`) backs the legacy
+``run_sim``/``run_sims`` entry points so existing call sites keep
+working unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Tuple)
+
+from repro.api.backends import ExecutionBackend, SerialBackend
+from repro.api.result import (SOURCE_DISK, SOURCE_MEMORY, SOURCE_SIMULATED,
+                              SimResult, cached_result)
+from repro.core.branch import GsharePredictor
+from repro.core.params import CoreParams, cap
+from repro.core.pipeline import Pipeline
+from repro.harness.cachefile import ResultCache
+from repro.harness.config import SimConfig
+from repro.harness.runner import (ORACLE_CACHE_MAX, TRACE_CACHE_MAX,
+                                  warm_branch_predictor, warm_hierarchy)
+from repro.isa.trace import DynInst
+from repro.ltp.controller import LTPController
+from repro.ltp.oracle import OracleInfo, annotate_trace
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.workloads import get_workload
+
+
+class Session:
+    """Owns simulation caches and executes configurations.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the disk result cache.  ``None`` falls back to
+        ``REPRO_CACHE_DIR`` or the repo-root ``.simcache``.
+    backend:
+        Default :class:`ExecutionBackend` for :meth:`run_many` /
+        :meth:`sweep` (``SerialBackend`` when omitted).
+    trace_cache_size / oracle_cache_size:
+        LRU caps of the in-process memoisation caches.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 backend: Optional[ExecutionBackend] = None,
+                 trace_cache_size: int = TRACE_CACHE_MAX,
+                 oracle_cache_size: int = ORACLE_CACHE_MAX) -> None:
+        if trace_cache_size <= 0 or oracle_cache_size <= 0:
+            raise ValueError("cache sizes must be positive")
+        self.results = ResultCache(cache_dir)
+        self.backend: ExecutionBackend = backend or SerialBackend()
+        self.trace_cache_size = trace_cache_size
+        self.oracle_cache_size = oracle_cache_size
+        #: workload name -> (max length ever requested, longest trace);
+        #: a trace shorter than its requested length means the workload
+        #: halts early and the trace is complete (LRU, bounded)
+        self._trace_cache: "OrderedDict[str, Tuple[int, List[DynInst]]]" = \
+            OrderedDict()
+        #: (workload, length, mem key, window) -> oracle annotation
+        self._oracle_cache: \
+            "OrderedDict[Tuple[str, int, str, int], OracleInfo]" = \
+            OrderedDict()
+        self._workload_factory: Callable[[str], Any] = get_workload
+
+    # ------------------------------------------------------------------
+    # lifetime
+    # ------------------------------------------------------------------
+    @property
+    def cache_dir(self) -> Path:
+        """Directory of the disk result cache."""
+        return self.results.directory
+
+    def clear_memory_caches(self, results: bool = True) -> None:
+        """Drop the in-process trace/oracle (and result) memoisation.
+
+        The caches are cleared in place (never rebound) so references
+        handed out earlier keep observing this session's state.  With
+        ``results=False`` the in-memory result cache is kept (the
+        legacy ``runner.clear_memory_caches`` semantics).
+        """
+        self._trace_cache.clear()
+        self._oracle_cache.clear()
+        if results:
+            self.results._memory.clear()
+
+    def close(self) -> None:
+        """Release in-memory state (the disk cache persists)."""
+        self.clear_memory_caches()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"Session(cache_dir={str(self.cache_dir)!r}, "
+                f"backend={self.backend!r})")
+
+    # ------------------------------------------------------------------
+    # memoised inputs
+    # ------------------------------------------------------------------
+    def get_trace(self, workload_name: str, length: int,
+                  factory: Optional[Callable[[str], Any]] = None,
+                  ) -> List[DynInst]:
+        """Build (and memoise) the first *length* instructions.
+
+        Only the longest trace per workload is retained; shorter
+        requests return a slice of it, so distinct sweep lengths never
+        pile up duplicate copies in memory.
+        """
+        factory = factory or self._workload_factory
+        trace_cache = self._trace_cache
+        cached = trace_cache.get(workload_name)
+        if cached is not None:
+            max_requested, full = cached
+            # shorter than an earlier request => the workload halts
+            # there and the trace is complete; never regenerate it
+            complete = len(full) < max_requested
+            if len(full) < length and not complete:
+                full = factory(workload_name).trace(length)
+            if length > max_requested or full is not cached[1]:
+                trace_cache[workload_name] = (max(length, max_requested),
+                                              full)
+        else:
+            full = factory(workload_name).trace(length)
+            trace_cache[workload_name] = (length, full)
+        trace_cache.move_to_end(workload_name)
+        while len(trace_cache) > self.trace_cache_size:
+            trace_cache.popitem(last=False)
+        if len(full) <= length:
+            return full
+        return full[:length]
+
+    def get_oracle(self, workload_name: str, length: int, core: CoreParams,
+                   trace: List[DynInst],
+                   factory: Optional[Callable[[str], Any]] = None,
+                   ) -> OracleInfo:
+        """Oracle annotation over the full trace (cached, LRU-bounded)."""
+        factory = factory or self._workload_factory
+        window = min(cap(core.rob_size), 4096)
+        mem = core.mem
+        mem_key = (f"{mem.l1d_size}/{mem.l2_size}/{mem.l3_size}/"
+                   f"{mem.prefetch_degree}")
+        key = (workload_name, length, mem_key, window)
+        oracle_cache = self._oracle_cache
+        oracle = oracle_cache.get(key)
+        if oracle is None:
+            workload = factory(workload_name)
+            oracle = annotate_trace(trace, mem, window=window,
+                                    warm_regions=workload.warm_regions)
+            oracle_cache[key] = oracle
+        oracle_cache.move_to_end(key)
+        while len(oracle_cache) > self.oracle_cache_size:
+            oracle_cache.popitem(last=False)
+        return oracle
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, config: SimConfig, use_cache: bool = True) -> SimResult:
+        """Run one configuration in-process; return a typed result."""
+        config.validate()
+        key = config.key()
+        if use_cache:
+            hit = self.results.lookup(key)
+            if hit is not None:
+                stats, where = hit
+                source = SOURCE_MEMORY if where == "memory" else SOURCE_DISK
+                return cached_result(config, key, stats, source,
+                                     backend="cache")
+        start = time.perf_counter()
+        stats = self._execute(config)
+        elapsed = time.perf_counter() - start
+        if use_cache:
+            self.results.put(key, stats)
+        return SimResult(config=config, stats=stats, key=key,
+                         source=SOURCE_SIMULATED, wall_time_s=elapsed)
+
+    def run_many(self, configs: Iterable[SimConfig],
+                 use_cache: bool = True,
+                 backend: Optional[ExecutionBackend] = None,
+                 ) -> List[SimResult]:
+        """Run independent configurations through an execution backend.
+
+        Results come back in the order of *configs* (deterministic
+        aggregation regardless of backend scheduling).  Cached
+        configurations are resolved in-process; each distinct remaining
+        configuration is simulated exactly once and duplicates share the
+        primary's statistics.
+        """
+        backend = backend or self.backend
+        config_list = list(configs)
+        results: Dict[int, SimResult] = {}
+        pending: List[Tuple[int, SimConfig, bool]] = []
+        primary: Dict[str, int] = {}      # key -> index that simulates it
+        duplicates: List[Tuple[int, str]] = []
+        for index, config in enumerate(config_list):
+            config.validate()
+            key = config.key()
+            hit = self.results.lookup(key) if use_cache else None
+            if hit is not None:
+                stats, where = hit
+                source = SOURCE_MEMORY if where == "memory" else SOURCE_DISK
+                results[index] = cached_result(config, key, stats, source,
+                                               backend="cache")
+            elif key in primary:  # simulate each distinct config once
+                duplicates.append((index, key))
+            else:
+                primary[key] = index
+                pending.append((index, config, use_cache))
+
+        for index, stats, wall, source in backend.execute(self, pending):
+            config = config_list[index]
+            key = config.key()
+            results[index] = SimResult(config=config, stats=stats, key=key,
+                                       source=source, wall_time_s=wall,
+                                       backend=backend.name)
+            if use_cache:
+                # pool workers already wrote the disk cache; keep only
+                # the in-memory copy here
+                self.results.put(key, stats, disk=False)
+
+        for index, key in duplicates:
+            # a duplicate IS the primary's outcome: share the result
+            # object so provenance (one simulation) stays truthful
+            results[index] = results[primary[key]]
+
+        return [results[index] for index in range(len(config_list))]
+
+    def sweep(self, spec: "SweepSpec", use_cache: bool = True,
+              backend: Optional[ExecutionBackend] = None) -> List[SimResult]:
+        """Expand a :class:`~repro.api.spec.SweepSpec` and run it."""
+        return self.run_many(spec.expand(), use_cache=use_cache,
+                             backend=backend)
+
+    # ------------------------------------------------------------------
+    # the simulation itself
+    # ------------------------------------------------------------------
+    def _execute(self, config: SimConfig) -> Dict[str, Any]:
+        """Trace, warm, and run the timing pipeline for *config*."""
+        total = config.warmup + config.measure
+        trace = self.get_trace(config.workload, total)
+        workload = self._workload_factory(config.workload)
+
+        oracle = (self.get_oracle(config.workload, total, config.core,
+                                  trace)
+                  if config.ltp.enabled else None)
+
+        warmup_slice = trace[:config.warmup]
+        measured = trace[config.warmup:]
+
+        hierarchy = MemoryHierarchy(config.core.mem)
+        warm_hierarchy(hierarchy, warmup_slice, len(workload.program),
+                       warm_regions=workload.warm_regions)
+        bpred = GsharePredictor()
+        warm_branch_predictor(bpred, warmup_slice)
+
+        controller = LTPController(config.ltp, config.core.mem.dram_latency,
+                                   oracle=oracle)
+        if config.ltp.enabled and oracle is not None and config.warmup:
+            controller.warm_from_trace(
+                warmup_slice, oracle.long_latency[:config.warmup])
+
+        pipeline = Pipeline(measured, params=config.core, ltp=config.ltp,
+                            controller=controller, hierarchy=hierarchy,
+                            branch_predictor=bpred)
+        stats = pipeline.run().as_dict()
+        stats["workload"] = config.workload
+        stats["category"] = workload.category
+        return stats
+
+    # ------------------------------------------------------------------
+    # internal: shim support
+    # ------------------------------------------------------------------
+    def _with_result_cache(self, results: ResultCache) -> "Session":
+        """A view of this session with a different result cache.
+
+        Trace/oracle caches (and their bounds) are shared with the
+        parent; only result caching is redirected.  Used by the legacy
+        ``run_sim`` shims when tests override the module-level cache.
+        """
+        view = Session.__new__(Session)
+        view.results = results
+        view.backend = self.backend
+        view.trace_cache_size = self.trace_cache_size
+        view.oracle_cache_size = self.oracle_cache_size
+        view._trace_cache = self._trace_cache
+        view._oracle_cache = self._oracle_cache
+        view._workload_factory = self._workload_factory
+        return view
+
+
+# ======================================================================
+# process-global default session (backward compatibility)
+# ======================================================================
+_default_session: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The process-global session backing ``run_sim``/``run_sims``."""
+    global _default_session
+    if _default_session is None:
+        _default_session = Session()
+    return _default_session
+
+
+def set_default_session(session: Session) -> Optional[Session]:
+    """Replace the process-global session; returns the previous one."""
+    global _default_session
+    previous = _default_session
+    _default_session = session
+    return previous

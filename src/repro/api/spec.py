@@ -1,0 +1,159 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names the workloads, the base core/LTP
+configuration, and a set of *axes* — dotted parameter paths mapped to
+the values to sweep — and expands their cross product into validated
+:class:`~repro.harness.config.SimConfig` objects:
+
+>>> spec = SweepSpec(workloads=["lattice_milc"],
+...                  axes={"core.iq_size": [16, 32, 64],
+...                        "ltp.enabled": [False, True]})
+>>> len(spec.expand())
+6
+
+Axis paths address ``core.<field>``, ``ltp.<field>``, or the ``warmup``
+/ ``measure`` budgets; unknown paths raise ``ValueError`` at expansion
+time.  Specs round-trip through :meth:`to_dict` / :meth:`from_dict`, so
+a sweep can live in a JSON file and be handed to
+:meth:`repro.api.session.Session.sweep` as the user-facing entry point
+— replacing the implicit plan/execute dance for ad-hoc sweeps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import asdict, dataclass, field
+from dataclasses import fields as dataclass_fields
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.params import CoreParams
+from repro.harness.config import (SimConfig, core_from_dict, ltp_from_dict)
+from repro.ltp.config import LTPConfig
+
+#: axis paths that address the simulation budgets directly
+_BUDGET_AXES = ("warmup", "measure")
+
+
+def _axis_fields(cls: type) -> frozenset:
+    return frozenset(f.name for f in dataclass_fields(cls))
+
+_CORE_FIELDS = _axis_fields(CoreParams)
+_LTP_FIELDS = _axis_fields(LTPConfig)
+
+
+def _check_axis(path: str) -> None:
+    if path in _BUDGET_AXES:
+        return
+    prefix, _, name = path.partition(".")
+    if prefix == "core" and name in _CORE_FIELDS:
+        return
+    if prefix == "ltp" and name in _LTP_FIELDS:
+        return
+    raise ValueError(
+        f"unknown sweep axis {path!r}: use 'core.<field>', 'ltp.<field>', "
+        f"'warmup' or 'measure'")
+
+
+@dataclass
+class SweepSpec:
+    """A declarative cross-product sweep over simulation parameters."""
+
+    workloads: Sequence[str]
+    core: CoreParams = field(default_factory=CoreParams)
+    ltp: LTPConfig = field(default_factory=LTPConfig)
+    warmup: Optional[int] = None    # None = SimConfig default
+    measure: Optional[int] = None
+    #: dotted parameter path -> values; expansion is the cross product
+    #: in insertion order, workloads outermost
+    axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+
+    def validate(self) -> "SweepSpec":
+        if not self.workloads:
+            raise ValueError("a sweep needs at least one workload")
+        for path, values in self.axes.items():
+            _check_axis(path)
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ValueError(
+                    f"axis {path!r} needs a non-empty list of values")
+        return self
+
+    def expand(self) -> List[SimConfig]:
+        """The sweep's validated configurations, in deterministic order."""
+        self.validate()
+        axis_paths = list(self.axes)
+        value_lists = [self.axes[path] for path in axis_paths]
+        configs: List[SimConfig] = []
+        for workload in self.workloads:
+            for combo in itertools.product(*value_lists):
+                core_overrides: Dict[str, Any] = {}
+                ltp_overrides: Dict[str, Any] = {}
+                budgets: Dict[str, Any] = {}
+                for path, value in zip(axis_paths, combo):
+                    prefix, _, name = path.partition(".")
+                    if path in _BUDGET_AXES:
+                        budgets[path] = value
+                    elif prefix == "core":
+                        core_overrides[name] = value
+                    else:
+                        ltp_overrides[name] = value
+                config = SimConfig(
+                    workload=workload,
+                    core=(self.core.but(**core_overrides)
+                          if core_overrides else self.core),
+                    ltp=(self.ltp.but(**ltp_overrides)
+                         if ltp_overrides else self.ltp))
+                if self.warmup is not None:
+                    config.warmup = self.warmup
+                if self.measure is not None:
+                    config.measure = self.measure
+                for name, value in budgets.items():
+                    setattr(config, name, int(value))
+                configs.append(config.validate())
+        return configs
+
+    def __len__(self) -> int:
+        """Number of configurations :meth:`expand` will produce."""
+        points = 1
+        for values in self.axes.values():
+            points *= len(values)
+        return len(self.workloads) * points
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workloads": list(self.workloads),
+            "core": asdict(self.core),
+            "ltp": asdict(self.ltp),
+            "warmup": self.warmup,
+            "measure": self.measure,
+            "axes": {path: list(values)
+                     for path, values in self.axes.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        payload = dict(data)
+        try:
+            workloads = list(payload.pop("workloads"))
+        except KeyError:
+            raise ValueError("sweep payload is missing 'workloads'") \
+                from None
+        core_data = payload.pop("core", None)
+        ltp_data = payload.pop("ltp", None)
+        warmup = payload.pop("warmup", None)
+        measure = payload.pop("measure", None)
+        axes = payload.pop("axes", {}) or {}
+        if payload:
+            raise ValueError(f"unknown sweep fields: {sorted(payload)}")
+        spec = cls(
+            workloads=workloads,
+            core=(core_from_dict(core_data) if core_data is not None
+                  else CoreParams()),
+            ltp=(ltp_from_dict(ltp_data) if ltp_data is not None
+                 else LTPConfig()),
+            warmup=None if warmup is None else int(warmup),
+            measure=None if measure is None else int(measure),
+            axes={path: list(values) for path, values in axes.items()})
+        return spec.validate()

@@ -4,10 +4,19 @@ Commands:
 
 * ``list`` — available workloads and their categories.
 * ``run WORKLOAD`` — simulate one workload under a chosen core/LTP
-  configuration and print the key metrics.
+  configuration and print the key metrics (``--json`` for the full
+  :class:`repro.api.SimResult` payload).
 * ``classify WORKLOAD`` — print the oracle classification of each
   static instruction (the Figure 2 view, for any kernel).
-* ``experiment NAME`` — regenerate one of the paper's tables/figures.
+* ``experiment NAME`` — regenerate one of the paper's tables/figures
+  (``--json`` for the raw result document).
+
+Everything routes through :mod:`repro.api`: the LTP presets come from
+the shared registry in :mod:`repro.ltp.config`, experiments resolve via
+the decorator registry, and simulations run on the process-global
+default :class:`~repro.api.session.Session` (via the shim-aware
+:func:`repro.harness.runner.run_sim_result`, so harness-level test
+overrides apply to the CLI too).
 """
 
 from __future__ import annotations
@@ -16,46 +25,18 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.api import (experiment_names, get_experiment, ltp_preset,
+                       ltp_preset_names)
 from repro.core.params import baseline_params, ltp_params
-from repro.harness import experiments
 from repro.harness.config import SimConfig
-from repro.harness.report import render_table
-from repro.harness.runner import run_sim
-from repro.ltp.config import (limit_ltp, no_ltp, proposed_ltp,
-                              wib_ltp)
+from repro.harness.report import render_json, render_table
+from repro.harness.runner import run_sim_result
+from repro.ltp.config import LTP_PRESETS
 from repro.ltp.oracle import annotate_trace
 from repro.workloads import full_suite, get_workload
 
-LTP_CHOICES = {
-    "none": no_ltp,
-    "proposed": proposed_ltp,
-    "limit-nu": lambda: limit_ltp("nu"),
-    "limit-nr": lambda: limit_ltp("nr"),
-    "limit-nrnu": lambda: limit_ltp("nr+nu"),
-    "wib": wib_ltp,
-}
-
-EXPERIMENTS = {
-    "table1": (experiments.table1_config, experiments.render_table1),
-    "fig1": (experiments.fig1_motivation, experiments.render_fig1),
-    "fig2": (experiments.fig2_classification, experiments.render_fig2),
-    "fig5": (experiments.fig5_lifetimes, experiments.render_fig5),
-    "fig6": (experiments.fig6_limit_study, experiments.render_fig6),
-    "fig7": (experiments.fig7_utilization, experiments.render_fig7),
-    "fig10": (experiments.fig10_impl_tradeoffs, experiments.render_fig10),
-    "fig11": (experiments.fig11_tickets, experiments.render_fig11),
-    "uit": (experiments.uit_ablation, experiments.render_uit_ablation),
-    "predictor": (experiments.predictor_ablation,
-                  experiments.render_predictor_ablation),
-    "sensitivity": (experiments.sensitivity_report,
-                    experiments.render_sensitivity),
-    "alternatives": (experiments.alternatives_comparison,
-                     experiments.render_alternatives),
-    "wakeup": (experiments.wakeup_policy_ablation,
-               experiments.render_wakeup_policy),
-    "headline": (experiments.headline_summary,
-                 experiments.render_headline),
-}
+#: legacy alias — the presets live in :data:`repro.ltp.config.LTP_PRESETS`
+LTP_CHOICES = LTP_PRESETS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,7 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--core", choices=["baseline", "small"],
                        default="baseline",
                        help="baseline = IQ64/RF128; small = IQ32/RF96")
-    run_p.add_argument("--ltp", choices=sorted(LTP_CHOICES),
+    run_p.add_argument("--ltp", choices=ltp_preset_names(),
                        default="none")
     run_p.add_argument("--iq", type=int, default=None,
                        help="override IQ size")
@@ -80,6 +61,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--warmup", type=int, default=None)
     run_p.add_argument("--measure", type=int, default=None)
     run_p.add_argument("--no-cache", action="store_true")
+    run_p.add_argument("--json", action="store_true",
+                       help="emit the SimResult payload as JSON")
 
     cls_p = sub.add_parser("classify",
                            help="oracle-classify a workload's kernel")
@@ -88,10 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp_p = sub.add_parser("experiment",
                            help="regenerate a paper table/figure")
-    exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp_p.add_argument("name", choices=experiment_names())
     exp_p.add_argument("--jobs", "-j", type=int, default=1,
                        help="worker processes for the sweep (default 1; "
                             "0 = one per CPU)")
+    exp_p.add_argument("--json", action="store_true",
+                       help="emit the raw result document as JSON")
     return parser
 
 
@@ -110,24 +95,28 @@ def cmd_run(args, out) -> int:
         core = core.but(iq_size=args.iq)
     if args.rf is not None:
         core = core.but(int_regs=args.rf, fp_regs=args.rf)
-    ltp = LTP_CHOICES[args.ltp]()
-    config = SimConfig(workload=args.workload, core=core, ltp=ltp)
+    config = SimConfig(workload=args.workload, core=core,
+                       ltp=ltp_preset(args.ltp))
     if args.warmup is not None:
         config.warmup = args.warmup
     if args.measure is not None:
         config.measure = args.measure
-    result = run_sim(config, use_cache=not args.no_cache)
+    result = run_sim_result(config, use_cache=not args.no_cache)
+    if args.json:
+        print(render_json(result.to_dict()), file=out)
+        return 0
+    stats = result.stats
     rows = [
-        ["CPI", result["cpi"]],
-        ["IPC", result["ipc"]],
-        ["cycles", result["cycles"]],
-        ["committed", result["committed"]],
-        ["avg outstanding requests", result["avg_outstanding"]],
-        ["avg load latency", result["avg_load_latency"]],
-        ["branch accuracy", result["branch_accuracy"]],
-        ["instructions parked", result["ltp_parked"]],
-        ["avg insts in LTP", result["avg_ltp"]],
-        ["LTP enabled fraction", result["ltp_enabled_fraction"]],
+        ["CPI", stats["cpi"]],
+        ["IPC", stats["ipc"]],
+        ["cycles", stats["cycles"]],
+        ["committed", stats["committed"]],
+        ["avg outstanding requests", stats["avg_outstanding"]],
+        ["avg load latency", stats["avg_load_latency"]],
+        ["branch accuracy", stats["branch_accuracy"]],
+        ["instructions parked", stats["ltp_parked"]],
+        ["avg insts in LTP", stats["avg_ltp"]],
+        ["LTP enabled fraction", stats["ltp_enabled_fraction"]],
     ]
     print(render_table(["metric", "value"], rows, precision=3,
                        title=f"{args.workload} — core={args.core} "
@@ -158,13 +147,14 @@ def cmd_classify(args, out) -> int:
 
 
 def cmd_experiment(args, out) -> int:
-    runner, renderer = EXPERIMENTS[args.name]
+    exp = get_experiment(args.name)
     jobs = args.jobs if args.jobs != 0 else None
-    if jobs is not None and jobs <= 1:
-        result = runner()
-    else:
-        result = experiments.run_parallel(runner, jobs=jobs)
-    print(renderer(result), file=out)
+    result = exp.run(jobs=jobs)
+    if args.json:
+        print(render_json({"experiment": exp.name, "result": result}),
+              file=out)
+        return 0
+    print(exp.render(result), file=out)
     return 0
 
 

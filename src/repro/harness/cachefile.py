@@ -6,7 +6,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 
 class ResultCache:
@@ -25,10 +25,12 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    def get(self, key: str) -> Optional[dict]:
+    def lookup(self, key: str) -> Optional[Tuple[dict, str]]:
+        """Resolve *key* to ``(value, source)``; source is "memory" or
+        "disk" (the first disk hit promotes the value to memory)."""
         if key in self._memory:
             self.hits += 1
-            return self._memory[key]
+            return self._memory[key], "memory"
         path = self._path(key)
         if path.is_file():
             try:
@@ -38,9 +40,13 @@ class ResultCache:
                 return None
             self._memory[key] = value
             self.hits += 1
-            return value
+            return value, "disk"
         self.misses += 1
         return None
+
+    def get(self, key: str) -> Optional[dict]:
+        found = self.lookup(key)
+        return None if found is None else found[0]
 
     def put(self, key: str, value: dict, disk: bool = True) -> None:
         self._memory[key] = value

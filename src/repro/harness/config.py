@@ -1,4 +1,13 @@
-"""Simulation-run configuration and stable cache keys."""
+"""Simulation-run configuration, declarative (de)serialization, keys.
+
+:class:`SimConfig` is the unit of work the whole harness revolves
+around.  It round-trips through plain dicts — ``to_dict`` /
+``from_dict`` — so sweeps can be declared in JSON/YAML and shipped
+across process or service boundaries, and its :meth:`SimConfig.key`
+content hash (derived from the same dict) keys the result caches.
+Unknown fields in a payload raise ``ValueError`` so schema drift is
+caught at the boundary rather than as silently-ignored settings.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +15,11 @@ import hashlib
 import json
 import os
 from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping
 
 from repro.core.params import CoreParams
 from repro.ltp.config import LTPConfig
+from repro.memory.hierarchy import MemParams
 
 #: default instruction budgets; the paper warms for 250 M and measures
 #: 10 M per SimPoint on gem5 — a pure-Python cycle model is ~4 orders of
@@ -17,6 +28,32 @@ from repro.ltp.config import LTPConfig
 #: REPRO_WARMUP_INSTS).
 DEFAULT_WARMUP = int(os.environ.get("REPRO_WARMUP_INSTS", "6000"))
 DEFAULT_MEASURE = int(os.environ.get("REPRO_MEASURE_INSTS", "2500"))
+
+#: config-payload schema version (bump when the dict shape changes in a
+#: way that must invalidate cached results)
+CONFIG_SCHEMA = 3
+
+
+def _dataclass_from_dict(cls: type, data: Mapping[str, Any], what: str):
+    try:
+        return cls(**data)
+    except TypeError as exc:
+        raise ValueError(f"bad {what} payload: {exc}") from None
+
+
+def core_from_dict(data: Mapping[str, Any]) -> CoreParams:
+    """Rebuild :class:`CoreParams` (including nested memory params)."""
+    payload = dict(data)
+    mem_data = payload.pop("mem", None)
+    mem = (_dataclass_from_dict(MemParams, mem_data, "memory config")
+           if mem_data is not None else MemParams())
+    payload["mem"] = mem
+    return _dataclass_from_dict(CoreParams, payload, "core config")
+
+
+def ltp_from_dict(data: Mapping[str, Any]) -> LTPConfig:
+    """Rebuild :class:`LTPConfig` from its ``asdict`` payload."""
+    return _dataclass_from_dict(LTPConfig, dict(data), "LTP config")
 
 
 @dataclass
@@ -36,15 +73,48 @@ class SimConfig:
             raise ValueError("warmup must be >= 0, measure > 0")
         return self
 
-    def key(self) -> str:
-        """Stable content hash identifying this configuration."""
-        payload = {
+    def to_dict(self) -> Dict[str, Any]:
+        """Declarative payload; also the input of :meth:`key`."""
+        return {
             "workload": self.workload,
             "core": asdict(self.core),
             "ltp": asdict(self.ltp),
             "warmup": self.warmup,
             "measure": self.measure,
-            "schema": 3,
+            "schema": CONFIG_SCHEMA,
         }
-        text = json.dumps(payload, sort_keys=True, default=str)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimConfig":
+        """Inverse of :meth:`to_dict`; preserves :meth:`key` exactly.
+
+        Tolerates payloads that omit ``core``/``ltp``/budgets (defaults
+        apply); rejects unknown fields inside them.
+        """
+        payload = dict(data)
+        payload.pop("schema", None)
+        try:
+            workload = payload.pop("workload")
+        except KeyError:
+            raise ValueError("config payload is missing 'workload'") \
+                from None
+        core_data = payload.pop("core", None)
+        ltp_data = payload.pop("ltp", None)
+        warmup = payload.pop("warmup", DEFAULT_WARMUP)
+        measure = payload.pop("measure", DEFAULT_MEASURE)
+        if payload:
+            raise ValueError(
+                f"unknown config fields: {sorted(payload)}")
+        config = cls(
+            workload=workload,
+            core=(core_from_dict(core_data) if core_data is not None
+                  else CoreParams()),
+            ltp=(ltp_from_dict(ltp_data) if ltp_data is not None
+                 else LTPConfig()),
+            warmup=int(warmup), measure=int(measure))
+        return config.validate()
+
+    def key(self) -> str:
+        """Stable content hash identifying this configuration."""
+        text = json.dumps(self.to_dict(), sort_keys=True, default=str)
         return hashlib.sha256(text.encode()).hexdigest()[:24]

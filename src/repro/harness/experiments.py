@@ -12,6 +12,12 @@ so the sweep's control flow completes without simulating anything —
 then :func:`run_parallel` executes the recorded configurations across a
 ``multiprocessing`` pool (:func:`repro.harness.runner.run_sims`) and
 re-runs the experiment for real, where every point is a cache hit.
+
+Each experiment/renderer pair self-registers with the
+:mod:`repro.api.registry` via the ``@experiment(name)`` /
+``@renderer(name)`` decorators; the CLI and any other consumer resolve
+scenarios through :func:`repro.api.get_experiment` instead of a
+hard-coded table, so new scenarios only need a decorated function.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.analysis.aggregate import (arithmetic_mean, geometric_mean,
                                       mean_relative_performance)
 from repro.analysis.mlp_class import SensitivityInputs, classify
+from repro.api.registry import experiment, renderer
 from repro.core.params import CoreParams, baseline_params, ltp_params
 from repro.energy.model import compute_energy, relative_ed2p
 from repro.harness.config import SimConfig
@@ -140,6 +147,7 @@ def _group_perf(group: str, core: CoreParams, ltp: LTPConfig,
 # ======================================================================
 # Table 1
 # ======================================================================
+@experiment("table1")
 def table1_config() -> dict:
     """The baseline configuration, plus the proposal's deltas."""
     base = baseline_params()
@@ -151,6 +159,7 @@ def table1_config() -> dict:
     }
 
 
+@renderer("table1")
 def render_table1(result: dict) -> str:
     return (f"Table 1: baseline processor configuration\n"
             f"{result['baseline']}\n\n{result['proposal']}")
@@ -159,6 +168,7 @@ def render_table1(result: dict) -> str:
 # ======================================================================
 # Figure 1 — motivation
 # ======================================================================
+@experiment("fig1")
 def fig1_motivation(warmup: Optional[int] = None,
                     measure: Optional[int] = None) -> dict:
     """CPI / outstanding requests / resource usage, IQ 32 vs 32+LTP vs 256.
@@ -197,6 +207,7 @@ def fig1_motivation(warmup: Optional[int] = None,
     return out
 
 
+@renderer("fig1")
 def render_fig1(result: dict) -> str:
     parts = []
     rows = []
@@ -222,6 +233,7 @@ def render_fig1(result: dict) -> str:
 # ======================================================================
 # Figure 2 — classification of the example loop
 # ======================================================================
+@experiment("fig2")
 def fig2_classification(measure: int = 4000) -> dict:
     """Oracle classification of the Figure 2 kernel, per static PC."""
     workload = get_workload("indirect_fig2")
@@ -253,6 +265,7 @@ def fig2_classification(measure: int = 4000) -> dict:
     return {"rows": rows}
 
 
+@renderer("fig2")
 def render_fig2(result: dict) -> str:
     rows = [[r["pc"], r["text"], r["class"]] for r in result["rows"]]
     return render_table(["pc", "instruction", "class"], rows,
@@ -263,6 +276,7 @@ def render_fig2(result: dict) -> str:
 # ======================================================================
 # Figure 5 — resource lifetimes
 # ======================================================================
+@experiment("fig5")
 def fig5_lifetimes(workload: str = MILC,
                    warmup: Optional[int] = None,
                    measure: Optional[int] = None) -> dict:
@@ -290,6 +304,7 @@ def fig5_lifetimes(workload: str = MILC,
     return {"workload": workload, "rows": rows}
 
 
+@renderer("fig5")
 def render_fig5(result: dict) -> str:
     rows = [[r["config"], r["iq_cycles_per_inst"], r["rf_cycles_per_inst"],
              r["cpi"]] for r in result["rows"]]
@@ -335,6 +350,7 @@ def _limit_core(resource: str, size: Optional[int]) -> CoreParams:
     return params
 
 
+@experiment("fig6")
 def fig6_limit_study(resources: Sequence[str] = ("iq", "rf", "lq", "sq"),
                      groups: Sequence[str] = GROUPS,
                      warmup: Optional[int] = None,
@@ -364,6 +380,7 @@ def fig6_limit_study(resources: Sequence[str] = ("iq", "rf", "lq", "sq"),
     return out
 
 
+@renderer("fig6")
 def render_fig6(result: dict) -> str:
     parts = []
     for resource, data in result.items():
@@ -385,6 +402,7 @@ def render_fig6(result: dict) -> str:
 # ======================================================================
 # Figure 7 — LTP utilization
 # ======================================================================
+@experiment("fig7")
 def fig7_utilization(warmup: Optional[int] = None,
                      measure: Optional[int] = None) -> dict:
     """Average LTP contents and enabled time for the IQ32/RF96 core."""
@@ -412,6 +430,7 @@ def fig7_utilization(warmup: Optional[int] = None,
     return out
 
 
+@renderer("fig7")
 def render_fig7(result: dict) -> str:
     rows = []
     for mode, per_group in result.items():
@@ -432,6 +451,7 @@ FIG10_ENTRIES = [None, 128, 64, 32, 16]
 FIG10_PORTS = [1, 2, 4, 8]
 
 
+@experiment("fig10")
 def fig10_impl_tradeoffs(warmup: Optional[int] = None,
                          measure: Optional[int] = None) -> dict:
     """Performance and IQ/RF ED2P vs LTP entries and ports.
@@ -477,6 +497,7 @@ def fig10_impl_tradeoffs(warmup: Optional[int] = None,
     return {"entries": FIG10_ENTRIES, "by_category": out}
 
 
+@renderer("fig10")
 def render_fig10(result: dict) -> str:
     parts = []
     entries = result["entries"]
@@ -502,6 +523,7 @@ def render_fig10(result: dict) -> str:
 FIG11_TICKETS = [128, 64, 32, 16, 8, 4]
 
 
+@experiment("fig11")
 def fig11_tickets(warmup: Optional[int] = None,
                   measure: Optional[int] = None) -> dict:
     """Performance vs number of tickets for the NR+NU design."""
@@ -532,6 +554,7 @@ def fig11_tickets(warmup: Optional[int] = None,
     return {"tickets": FIG11_TICKETS, "by_category": out}
 
 
+@renderer("fig11")
 def render_fig11(result: dict) -> str:
     headers = ["suite", "config"] + [str(t) for t in result["tickets"]]
     rows = []
@@ -552,6 +575,7 @@ def render_fig11(result: dict) -> str:
 UIT_SIZES = [None, 512, 256, 128, 64]
 
 
+@experiment("uit")
 def uit_ablation(warmup: Optional[int] = None,
                  measure: Optional[int] = None) -> dict:
     """Performance vs UIT size for the practical NU-only design."""
@@ -572,6 +596,7 @@ def uit_ablation(warmup: Optional[int] = None,
     return {"sizes": UIT_SIZES, "by_category": out}
 
 
+@renderer("uit")
 def render_uit_ablation(result: dict) -> str:
     headers = ["suite"] + [size_label(s) for s in result["sizes"]]
     rows = [[GROUP_LABELS[c]] + series
@@ -584,6 +609,7 @@ def render_uit_ablation(result: dict) -> str:
 # ======================================================================
 # Appendix — oracle vs two-level hit/miss predictor
 # ======================================================================
+@experiment("predictor")
 def predictor_ablation(warmup: Optional[int] = None,
                        measure: Optional[int] = None) -> dict:
     """Oracle vs two-level long-latency prediction (paper: <2 points)."""
@@ -607,6 +633,7 @@ def predictor_ablation(warmup: Optional[int] = None,
     return out
 
 
+@renderer("predictor")
 def render_predictor_ablation(result: dict) -> str:
     rows = [[GROUP_LABELS[c], v["oracle"], v["twolevel"],
              v["oracle"] - v["twolevel"]]
@@ -619,6 +646,7 @@ def render_predictor_ablation(result: dict) -> str:
 # ======================================================================
 # Section 4.1 — MLP sensitivity classification
 # ======================================================================
+@experiment("sensitivity")
 def sensitivity_report(warmup: Optional[int] = None,
                        measure: Optional[int] = None) -> dict:
     """Apply the Section 4.1 rule to every workload."""
@@ -651,6 +679,7 @@ def sensitivity_report(warmup: Optional[int] = None,
     return {"rows": rows}
 
 
+@renderer("sensitivity")
 def render_sensitivity(result: dict) -> str:
     rows = [[r["workload"], r["designed_as"], r["classified_sensitive"],
              r["speedup_pct"], r["outstanding_growth_pct"], r["beyond_l2"]]
@@ -665,6 +694,7 @@ def render_sensitivity(result: dict) -> str:
 # ======================================================================
 # Section 6 — alternatives: WIB-style slice buffer vs LTP
 # ======================================================================
+@experiment("alternatives")
 def alternatives_comparison(warmup: Optional[int] = None,
                             measure: Optional[int] = None) -> dict:
     """LTP vs a WIB-style slice buffer on the IQ and RF axes.
@@ -694,6 +724,7 @@ def alternatives_comparison(warmup: Optional[int] = None,
     return out
 
 
+@renderer("alternatives")
 def render_alternatives(result: dict) -> str:
     labels = ["no-ltp", "wib", "ltp-nr+nu"]
     rows = [[point] + [values[label] for label in labels]
@@ -707,6 +738,7 @@ def render_alternatives(result: dict) -> str:
 # ======================================================================
 # Section 3.2 — wakeup-policy ablation (ROB position vs eager)
 # ======================================================================
+@experiment("wakeup")
 def wakeup_policy_ablation(warmup: Optional[int] = None,
                            measure: Optional[int] = None) -> dict:
     """Late (ROB-position) vs eager Non-Urgent wakeup.
@@ -735,6 +767,7 @@ def wakeup_policy_ablation(warmup: Optional[int] = None,
     return out
 
 
+@renderer("wakeup")
 def render_wakeup_policy(result: dict) -> str:
     rows = [[point, values["rob-position"], values["eager"],
              values["rob-position"] - values["eager"]]
@@ -749,6 +782,7 @@ def render_wakeup_policy(result: dict) -> str:
 # ======================================================================
 # Headline summary (Section 5.7 / conclusions)
 # ======================================================================
+@experiment("headline")
 def headline_summary(warmup: Optional[int] = None,
                      measure: Optional[int] = None) -> dict:
     """The paper's bottom line, per suite.
@@ -788,6 +822,7 @@ def headline_summary(warmup: Optional[int] = None,
     return out
 
 
+@renderer("headline")
 def render_headline(result: dict) -> str:
     rows = []
     for category, data in result.items():

@@ -7,9 +7,16 @@ the evaluation as readable text.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+import json
+from typing import Any, Iterable, List, Optional, Sequence, Union
 
 Cell = Union[str, int, float, None]
+
+
+def render_json(payload: Any) -> str:
+    """Stable JSON for ``--json`` CLI output: sorted keys, indented,
+    non-serialisable values stringified."""
+    return json.dumps(payload, indent=2, sort_keys=True, default=str)
 
 
 def format_cell(value: Cell, precision: int = 2) -> str:

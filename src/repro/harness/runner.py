@@ -1,7 +1,8 @@
-"""Simulation runner: trace generation, warmup, execution, caching.
+"""Legacy simulation-runner entry points, now thin session shims.
 
 The paper warms caches for 250 M instructions and then measures a 10 M
-instruction SimPoint.  The runner mirrors that shape:
+instruction SimPoint.  The execution recipe mirrors that shape (see
+:meth:`repro.api.session.Session._execute`):
 
 1. generate ``warmup + measure`` dynamic instructions from the workload,
 2. compute the oracle annotation over the *full* trace (miss levels,
@@ -11,100 +12,102 @@ instruction SimPoint.  The runner mirrors that shape:
    the warmup slice (functionally, no timing),
 4. run the timing pipeline over the measured slice.
 
-Results are cached on disk keyed by the full configuration hash;
-re-running a sweep is free.  :func:`run_sims` executes a batch of
-independent configurations across a ``multiprocessing`` pool — trace
-generation is deterministic, so each worker regenerates what it needs,
-and the disk cache's atomic writes make concurrent writers safe.
+All mutable state — the bounded trace/oracle memoisation and the
+memory+disk result cache — is owned by :class:`repro.api.session.Session`
+objects; this module keeps the historical functional API
+(:func:`run_sim`, :func:`run_sims`, :func:`get_trace`,
+:func:`get_oracle`, :func:`clear_memory_caches`) as shims over the
+process-global default session, so existing call sites and the
+differential-equivalence guarantees keep working unchanged.  The pure
+warm-up helpers live here because they carry no state.
 
-In-process memoisation is bounded: the trace cache keeps only the
-longest trace per workload (callers get a shared or freshly-sliced
-prefix, never a retained duplicate per distinct length) and both it and
-the oracle cache evict least-recently-used entries beyond a small cap.
+Backward-compatible cache access: attribute reads of ``_trace_cache``,
+``_oracle_cache`` and ``_result_cache`` resolve to the default
+session's objects via module ``__getattr__``; assigning
+``runner._result_cache`` (as cache-isolation test fixtures do) routes
+the shims through the assigned cache.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Tuple
+import weakref
+from typing import Iterable, List, Optional
 
 from repro.core.branch import GsharePredictor
-from repro.core.params import CoreParams, cap
-from repro.core.pipeline import CODE_BASE, INST_BYTES, Pipeline
-from repro.harness.cachefile import ResultCache
+from repro.core.params import CoreParams
+from repro.core.pipeline import CODE_BASE, INST_BYTES
 from repro.harness.config import SimConfig
 from repro.isa.trace import DynInst
-from repro.ltp.controller import LTPController
-from repro.ltp.oracle import OracleInfo, annotate_trace
+from repro.ltp.oracle import OracleInfo
 from repro.memory.cache import block_of
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.workloads import get_workload
 
-#: workload name -> (max length ever requested, longest trace so far);
-#: a trace shorter than its requested length means the workload halts
-#: early and the trace is complete (LRU, bounded)
-_trace_cache: "OrderedDict[str, Tuple[int, List[DynInst]]]" = OrderedDict()
-_TRACE_CACHE_MAX = 8
+#: LRU caps of the default in-process memoisation (per session)
+TRACE_CACHE_MAX = 8
+ORACLE_CACHE_MAX = 16
 
-#: (workload, length, mem key, window) -> oracle annotation (LRU, bounded)
-_oracle_cache: "OrderedDict[Tuple[str, int, str, int], OracleInfo]" = \
-    OrderedDict()
-_ORACLE_CACHE_MAX = 16
+#: legacy aliases (tests import these)
+_TRACE_CACHE_MAX = TRACE_CACHE_MAX
+_ORACLE_CACHE_MAX = ORACLE_CACHE_MAX
 
-_result_cache = ResultCache()
+#: module attributes resolved against the default session on first use
+_SESSION_ATTRS = ("_trace_cache", "_oracle_cache", "_result_cache")
+
+#: result caches ever handed out as *the default session's* — a module
+#: global equal to one of these is a restored read-back (e.g. a
+#: monkeypatch teardown), not an explicit override, and must keep
+#: tracking the current default session
+_default_result_caches: "weakref.WeakSet" = weakref.WeakSet()
 
 
-def get_trace(workload_name: str, length: int) -> List[DynInst]:
-    """Build (and memoise) the first *length* instructions of a workload.
+def __getattr__(name: str):
+    if name in _SESSION_ATTRS:
+        from repro.api.session import default_session
+        session = default_session()
+        if name == "_result_cache":
+            _default_result_caches.add(session.results)
+        return {
+            "_trace_cache": session._trace_cache,
+            "_oracle_cache": session._oracle_cache,
+            "_result_cache": session.results,
+        }[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-    Only the longest trace per workload is retained; shorter requests
-    return a slice of it, so distinct sweep lengths never pile up
-    duplicate copies in memory.
+
+def _module_get_workload(name: str):
+    """Resolve workloads through this module's ``get_workload`` global
+    at call time, so monkeypatched stand-ins keep working."""
+    return get_workload(name)
+
+
+def _shim_session():
+    """The session the legacy entry points run against.
+
+    A view of the process-global default session that (a) uses the
+    ``runner._result_cache`` override when a caller (test fixture) has
+    assigned one, and (b) resolves workloads through this module's
+    ``get_workload`` global so monkeypatched stand-ins apply to every
+    entry point, exactly as before the session refactor.
     """
-    cached = _trace_cache.get(workload_name)
-    if cached is not None:
-        max_requested, full = cached
-        # shorter than an earlier request => the workload halts there
-        # and the trace is complete; never regenerate it
-        complete = len(full) < max_requested
-        if len(full) < length and not complete:
-            full = get_workload(workload_name).trace(length)
-        if length > max_requested or full is not cached[1]:
-            _trace_cache[workload_name] = (max(length, max_requested), full)
-    else:
-        full = get_workload(workload_name).trace(length)
-        _trace_cache[workload_name] = (length, full)
-    _trace_cache.move_to_end(workload_name)
-    while len(_trace_cache) > _TRACE_CACHE_MAX:
-        _trace_cache.popitem(last=False)
-    if len(full) <= length:
-        return full
-    return full[:length]
+    from repro.api.session import default_session
+    session = default_session()
+    override = globals().get("_result_cache")
+    results = session.results
+    if override is not None and override is not results \
+            and override not in _default_result_caches:
+        results = override
+    view = session._with_result_cache(results)
+    view._workload_factory = _module_get_workload
+    return view
 
 
-def get_oracle(workload_name: str, length: int, core: CoreParams,
-               trace: List[DynInst]) -> OracleInfo:
-    """Oracle annotation over the full trace (cached, LRU-bounded)."""
-    window = min(cap(core.rob_size), 4096)
-    mem_key = (f"{core.mem.l1d_size}/{core.mem.l2_size}/{core.mem.l3_size}/"
-               f"{core.mem.prefetch_degree}")
-    key = (workload_name, length, mem_key, window)
-    oracle = _oracle_cache.get(key)
-    if oracle is None:
-        workload = get_workload(workload_name)
-        oracle = annotate_trace(trace, core.mem, window=window,
-                                warm_regions=workload.warm_regions)
-        _oracle_cache[key] = oracle
-    _oracle_cache.move_to_end(key)
-    while len(_oracle_cache) > _ORACLE_CACHE_MAX:
-        _oracle_cache.popitem(last=False)
-    return oracle
-
-
-def _warm_hierarchy(hierarchy: MemoryHierarchy, warmup_slice,
-                    program_len: int, warm_regions=()) -> None:
+# ======================================================================
+# pure warm-up helpers (stateless; also used by the perf bench harness)
+# ======================================================================
+def warm_hierarchy(hierarchy: MemoryHierarchy, warmup_slice,
+                   program_len: int, warm_regions=()) -> None:
     # Hot metadata a paper-scale warmup (250 M instructions) would leave
     # resident: the kernels re-walk these small arrays with a period far
     # longer than our warmup slice, so install them in the L2/L3 first.
@@ -124,61 +127,49 @@ def _warm_hierarchy(hierarchy: MemoryHierarchy, warmup_slice,
         hierarchy.l3.insert(block)
 
 
-def _warm_branch_predictor(bpred: GsharePredictor, warmup_slice) -> None:
+def warm_branch_predictor(bpred: GsharePredictor, warmup_slice) -> None:
     for dyn in warmup_slice:
         if dyn.is_branch:
             bpred.predict_and_update(dyn.pc, dyn.taken)
 
 
+#: legacy aliases (the perf bench harness imports the underscored names)
+_warm_hierarchy = warm_hierarchy
+_warm_branch_predictor = warm_branch_predictor
+
+
+# ======================================================================
+# legacy functional API (shims over the default session)
+# ======================================================================
+def get_trace(workload_name: str, length: int) -> List[DynInst]:
+    """Build (and memoise) the first *length* instructions of a workload.
+
+    Only the longest trace per workload is retained; shorter requests
+    return a slice of it, so distinct sweep lengths never pile up
+    duplicate copies in memory.
+    """
+    return _shim_session().get_trace(workload_name, length)
+
+
+def get_oracle(workload_name: str, length: int, core: CoreParams,
+               trace: List[DynInst]) -> OracleInfo:
+    """Oracle annotation over the full trace (cached, LRU-bounded)."""
+    return _shim_session().get_oracle(workload_name, length, core, trace)
+
+
+def run_sim_result(config: SimConfig, use_cache: bool = True):
+    """Run one simulation on the default session; return a
+    :class:`repro.api.result.SimResult` (the shim-aware equivalent of
+    ``Session.run``, used by :func:`run_sim`, the CLI and pool
+    workers)."""
+    return _shim_session().run(config, use_cache=use_cache)
+
+
 def run_sim(config: SimConfig, use_cache: bool = True) -> dict:
     """Run one simulation; return the flattened statistics dict."""
-    config.validate()
-    key = config.key()
-    if use_cache:
-        cached = _result_cache.get(key)
-        if cached is not None:
-            return cached
-
-    total = config.warmup + config.measure
-    trace = get_trace(config.workload, total)
-    workload = get_workload(config.workload)
-
-    needs_oracle = (config.ltp.enabled
-                    and (config.ltp.classifier == "oracle"
-                         or config.ltp.ll_predictor == "oracle"))
-    oracle = get_oracle(config.workload, total, config.core, trace) \
-        if (needs_oracle or config.ltp.enabled) else None
-
-    warmup_slice = trace[:config.warmup]
-    measured = trace[config.warmup:]
-
-    hierarchy = MemoryHierarchy(config.core.mem)
-    _warm_hierarchy(hierarchy, warmup_slice, len(workload.program),
-                    warm_regions=workload.warm_regions)
-    bpred = GsharePredictor()
-    _warm_branch_predictor(bpred, warmup_slice)
-
-    controller = LTPController(config.ltp, config.core.mem.dram_latency,
-                               oracle=oracle)
-    if config.ltp.enabled and oracle is not None and config.warmup:
-        controller.warm_from_trace(
-            warmup_slice, oracle.long_latency[:config.warmup])
-
-    pipeline = Pipeline(measured, params=config.core, ltp=config.ltp,
-                        controller=controller, hierarchy=hierarchy,
-                        branch_predictor=bpred)
-    stats = pipeline.run()
-    result = stats.as_dict()
-    result["workload"] = config.workload
-    result["category"] = workload.category
-    if use_cache:
-        _result_cache.put(key, result)
-    return result
+    return run_sim_result(config, use_cache=use_cache).stats
 
 
-# ======================================================================
-# parallel batch execution
-# ======================================================================
 def default_jobs() -> int:
     """Worker count: ``REPRO_JOBS`` env var, else the CPU count."""
     env = os.environ.get("REPRO_JOBS")
@@ -190,11 +181,6 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def _run_sim_indexed(item: Tuple[int, SimConfig, bool]) -> Tuple[int, dict]:
-    index, config, use_cache = item
-    return index, run_sim(config, use_cache=use_cache)
-
-
 def run_sims(configs: Iterable[SimConfig], jobs: Optional[int] = None,
              use_cache: bool = True) -> List[dict]:
     """Run independent configurations, fanning out across processes.
@@ -202,55 +188,23 @@ def run_sims(configs: Iterable[SimConfig], jobs: Optional[int] = None,
     Results come back in the order of *configs* (deterministic
     aggregation regardless of worker scheduling).  Configurations whose
     results are already cached are resolved in-process; the rest are
-    distributed over ``jobs`` workers (default :func:`default_jobs`).
-    Workers populate the shared disk cache — its atomic replace-on-write
-    keeps concurrent writers safe — and the parent re-inserts every
-    result into its in-memory cache, so a subsequent sequential pass
-    over the same sweep is free.
+    distributed over ``jobs`` workers (default :func:`default_jobs`)
+    via :class:`repro.api.backends.ProcessPoolBackend`.  Workers
+    populate the shared disk cache — its atomic replace-on-write keeps
+    concurrent writers safe — and the parent re-inserts every result
+    into its in-memory cache, so a subsequent sequential pass over the
+    same sweep is free.
     """
-    config_list = list(configs)
-    if jobs is None:
-        jobs = default_jobs()
-    results: dict = {}
-    pending: List[Tuple[int, SimConfig, bool]] = []
-    primary: Dict[str, int] = {}          # key -> index that simulates it
-    duplicates: List[Tuple[int, str]] = []
-    for index, config in enumerate(config_list):
-        config.validate()
-        key = config.key()
-        cached = _result_cache.get(key) if use_cache else None
-        if cached is not None:
-            results[index] = cached
-        elif key in primary:  # simulate each distinct config once
-            duplicates.append((index, key))
-        else:
-            primary[key] = index
-            pending.append((index, config, use_cache))
-
-    if pending and (jobs <= 1 or len(pending) == 1):
-        for index, config, _ in pending:
-            results[index] = run_sim(config, use_cache=use_cache)
-    elif pending:
-        methods = multiprocessing.get_all_start_methods()
-        method = "fork" if "fork" in methods else None
-        ctx = multiprocessing.get_context(method)
-        workers = min(jobs, len(pending))
-        with ctx.Pool(processes=workers) as pool:
-            for index, result in pool.imap_unordered(
-                    _run_sim_indexed, pending):
-                results[index] = result
-                if use_cache:
-                    # the worker already wrote the disk cache; keep only
-                    # the in-memory copy here
-                    _result_cache.put(config_list[index].key(), result,
-                                      disk=False)
-    for index, key in duplicates:
-        results[index] = results[primary[key]]
-
-    return [results[index] for index in range(len(config_list))]
+    from repro.api.backends import ProcessPoolBackend
+    # the pool backend degrades to in-process execution for jobs <= 1
+    # or a single pending item, so it is the policy in both regimes
+    backend = ProcessPoolBackend(jobs=jobs)
+    results = _shim_session().run_many(configs, use_cache=use_cache,
+                                       backend=backend)
+    return [result.stats for result in results]
 
 
 def clear_memory_caches() -> None:
     """Drop in-process trace/oracle caches (tests use this)."""
-    _trace_cache.clear()
-    _oracle_cache.clear()
+    from repro.api.session import default_session
+    default_session().clear_memory_caches(results=False)

@@ -8,7 +8,7 @@ UIT, paired with the reduced IQ 32 / RF 96 core.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Callable, Dict, List, Optional
 
 MODES = ("nu", "nr", "nr+nu")
 CLASSIFIERS = ("online", "oracle")
@@ -140,3 +140,33 @@ def wib_ltp() -> LTPConfig:
                      classifier="oracle", ll_predictor="oracle",
                      uit_size=None, tickets=None, monitor="on",
                      defer_registers=False).validate()
+
+
+# ======================================================================
+# named presets — the single registry behind the CLI's --ltp choices
+# and the API's `ltp_preset`
+# ======================================================================
+LTP_PRESETS: Dict[str, Callable[[], LTPConfig]] = {
+    "none": no_ltp,
+    "proposed": proposed_ltp,
+    "limit-nu": lambda: limit_ltp("nu"),
+    "limit-nr": lambda: limit_ltp("nr"),
+    "limit-nrnu": lambda: limit_ltp("nr+nu"),
+    "wib": wib_ltp,
+}
+
+
+def ltp_preset(name: str) -> LTPConfig:
+    """Instantiate a named LTP preset (a fresh config every call)."""
+    try:
+        factory = LTP_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(LTP_PRESETS))
+        raise KeyError(f"unknown LTP preset {name!r} "
+                       f"(available: {known})") from None
+    return factory()
+
+
+def ltp_preset_names() -> List[str]:
+    """Sorted names of every registered LTP preset."""
+    return sorted(LTP_PRESETS)

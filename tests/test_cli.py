@@ -1,10 +1,12 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
 from repro.cli import build_parser, main
+from repro.harness.config import SimConfig
 
 
 def run_cli(argv):
@@ -62,6 +64,26 @@ def test_experiment_command_fig2():
     code, text = run_cli(["experiment", "fig2"])
     assert code == 0
     assert "Figure 2" in text
+
+
+def test_run_json_emits_simresult_payload():
+    code, text = run_cli(["run", "compute_int", "--warmup", "200",
+                          "--measure", "200", "--no-cache", "--json"])
+    assert code == 0
+    payload = json.loads(text)
+    assert payload["stats"]["committed"] == 200
+    assert payload["source"] == "simulated"
+    assert payload["cached"] is False
+    # the embedded config round-trips to the same cache key
+    assert SimConfig.from_dict(payload["config"]).key() == payload["key"]
+
+
+def test_experiment_json_emits_result_document():
+    code, text = run_cli(["experiment", "table1", "--json"])
+    assert code == 0
+    payload = json.loads(text)
+    assert payload["experiment"] == "table1"
+    assert "3.4 GHz" in payload["result"]["baseline"]
 
 
 def test_parser_rejects_unknown_experiment():
