@@ -9,7 +9,6 @@
   way they were designed.
 """
 
-import pytest
 
 from benchmarks.conftest import archive
 from repro.harness.experiments import (predictor_ablation,

@@ -9,7 +9,6 @@
   before commit).
 """
 
-import pytest
 
 from benchmarks.conftest import archive
 from repro.harness.experiments import (alternatives_comparison,

@@ -13,8 +13,6 @@ def test_fig2_classification(benchmark, results_dir):
     result = benchmark.pedantic(fig2_classification, rounds=1, iterations=1)
     archive(results_dir, "fig2_classification", render_fig2(result))
 
-    classes = {row["text"].split()[0] + str(row["pc"]): row["class"]
-               for row in result["rows"]}
     by_pc = {row["pc"]: row["class"] for row in result["rows"]}
 
     # pc layout of the kernel (see workloads/kernels.py):

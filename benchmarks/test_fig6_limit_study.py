@@ -64,7 +64,6 @@ def test_fig6_insensitive_flat(benchmark, fig6):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     for resource in ("iq", "rf"):
         data = fig6[resource]["groups"][MLP_INSENSITIVE]
-        sizes = fig6[resource]["sizes"]
         # at the second-largest finite setting the insensitive suite
         # moves by only a few percent
         mid = 2

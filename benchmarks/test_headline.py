@@ -6,7 +6,6 @@ by tens of percent; the same shrink *without* LTP loses double-digit
 performance.
 """
 
-import pytest
 
 from benchmarks.conftest import archive
 from repro.harness.experiments import headline_summary, render_headline

@@ -11,12 +11,20 @@ The output document records simulated-instructions-per-second for each
 configuration in ``benchmarks.perf.harness.BENCH_CONFIGS``, alongside
 the committed pre-optimisation seed baseline and the speedup against
 it.  See README.md ("Performance tracking") for how to read the file.
+
+``--check`` turns the run into a regression gate (CI uses ``--smoke
+--check``): the freshly measured ``milc_baseline`` speedup over
+``benchmarks/perf/baseline_seed.json`` is compared against the speedup
+recorded in the committed ``BENCH_pipeline.json`` (read before it is
+overwritten), and the exit code is nonzero if it regressed by more
+than :data:`CHECK_TOLERANCE`.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 from datetime import datetime, timezone
@@ -28,6 +36,47 @@ for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
         sys.path.insert(0, entry)
 
 from benchmarks.perf import harness  # noqa: E402
+
+#: --check fails when the headline speedup falls more than this far
+#: below the committed BENCH_pipeline.json value.  Both speedups are
+#: ratios against the committed seed baseline, which was recorded on a
+#: different machine — the gate therefore also absorbs absolute
+#: machine-speed differences between the recording host and the CI
+#: runner, not just timing noise; widen via BENCH_CHECK_TOLERANCE if a
+#: runner class proves systematically slower.
+CHECK_TOLERANCE = float(os.environ.get("BENCH_CHECK_TOLERANCE", "0.15"))
+
+
+def load_reference(path: Path) -> dict:
+    """The committed document (read before overwriting), or empty."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return {}
+
+
+def check_regression(document: dict, reference: dict) -> int:
+    """Gate the headline speedup; returns the process exit code."""
+    current = document.get("headline_speedup")
+    ref_speedup = reference.get("headline_speedup")
+    headline = document.get("headline", harness.HEADLINE)
+    if ref_speedup is None or current is None:
+        print(f"perf check skipped: no committed {headline} reference "
+              f"speedup to compare against")
+        return 0
+    floor = ref_speedup * (1.0 - CHECK_TOLERANCE)
+    verdict = "OK" if current >= floor else "REGRESSION"
+    regime = ""
+    if bool(reference.get("smoke")) != bool(document.get("smoke")):
+        regime = (" [note: budget regimes differ — reference "
+                  f"smoke={bool(reference.get('smoke'))}, current "
+                  f"smoke={bool(document.get('smoke'))}; part of the "
+                  "tolerance absorbs that shift]")
+    print(f"perf check {verdict}: {headline} speedup {current:.3f}x vs "
+          f"committed {ref_speedup:.3f}x (floor {floor:.3f}x, "
+          f"tolerance {CHECK_TOLERANCE:.0%}){regime}")
+    return 0 if current >= floor else 1
 
 
 def main(argv=None) -> int:
@@ -49,11 +98,21 @@ def main(argv=None) -> int:
     parser.add_argument("--save-baseline", action="store_true",
                         help="write the result as the seed baseline "
                              "snapshot instead of BENCH_pipeline.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero if the headline speedup "
+                             "regressed more than 15%% vs the committed "
+                             "BENCH_pipeline.json")
     args = parser.parse_args(argv)
+
+    reference = load_reference(args.output) if args.check else {}
 
     warmup, measure, repeats = args.warmup, args.measure, args.repeats
     if args.smoke:
         warmup, measure, repeats = 300, 600, 1
+    if args.check:
+        # the gate compares best-of-N wall times; a single tiny-trace
+        # repeat is too noisy to sit 15% from the floor
+        repeats = max(repeats, 3)
 
     document = harness.run_bench(warmup=warmup, measure=measure,
                                  repeats=repeats, names=args.configs)
@@ -82,6 +141,8 @@ def main(argv=None) -> int:
         print(f"{name:<{width}}  {row['insts_per_sec']:>12,.0f}  "
               f"{row['ipc']:>7.3f}  {suffix}")
     print(f"\nwrote {output}")
+    if args.check:
+        return check_regression(document, reference)
     return 0
 
 

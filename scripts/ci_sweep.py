@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""CI driver for sharded, resumable sweeps.
+
+Each CI matrix job runs one key-stable shard of the headline LTP sweep
+into its own result store; a final job merges the shard artifacts and
+proves the union is exactly — bit for bit — what an unsharded serial
+run produces, and that resuming from the merged store simulates
+nothing.  From the repo root::
+
+    python scripts/ci_sweep.py run    --shard 0/4 --store stores/shard0.jsonl
+    python scripts/ci_sweep.py merge  --store merged.jsonl stores/*.jsonl
+    python scripts/ci_sweep.py verify --store merged.jsonl
+    python scripts/ci_sweep.py check-resume --store merged.jsonl
+
+``--preset``/``--spec``, ``--warmup`` and ``--measure`` select the
+sweep; every subcommand must be given the same values (the store binds
+the spec's ``sweep_id`` and refuses a mismatch).  The driver is plain
+:mod:`repro.api` — anything it does can be scripted directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.api import (ResultStore, Session, SweepSpec,  # noqa: E402
+                       backend_for_jobs, merge_stores, parse_shard)
+from repro.harness.experiments import resolve_sweep_spec  # noqa: E402
+
+
+def build_spec(args) -> SweepSpec:
+    source = str(args.spec) if args.spec is not None else args.preset
+    return resolve_sweep_spec(source, warmup=args.warmup,
+                              measure=args.measure)
+
+
+def add_spec_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", default="ltp-queues",
+                        help="registered sweep preset (default: "
+                             "ltp-queues)")
+    parser.add_argument("--spec", type=Path, default=None,
+                        help="SweepSpec JSON file (overrides --preset)")
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="warmup instruction budget per point")
+    parser.add_argument("--measure", type=int, default=None,
+                        help="measured instruction budget per point")
+
+
+def cmd_run(args) -> int:
+    spec = build_spec(args)
+    shard = parse_shard(args.shard) if args.shard else None
+    with Session() as session, ResultStore(args.store) as store:
+        results = session.sweep(spec, backend=backend_for_jobs(args.jobs),
+                                store=store, shard=shard)
+    simulated = sum(1 for r in results if not r.cached)
+    label = f"shard {args.shard}" if args.shard else "unsharded"
+    print(f"sweep {spec.sweep_id()} {label}: {len(results)} points, "
+          f"{simulated} simulated -> {args.store}")
+    return 0
+
+
+def cmd_merge(args) -> int:
+    with merge_stores(args.store, args.sources) as merged:
+        print(f"merged {len(args.sources)} store(s) into {args.store}: "
+              f"{len(merged)} points, sweep {merged.sweep_id}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """Serial run vs. merged shards: bit-identical stats per point."""
+    spec = build_spec(args)
+    store = ResultStore(args.store)
+    store.bind(spec.sweep_id())
+    configs = spec.expand()
+    failures = 0
+    # an isolated cache directory so nothing can serve stale results
+    with tempfile.TemporaryDirectory() as scratch, \
+            Session(cache_dir=scratch) as session:
+        for config in configs:
+            key = config.key()
+            stored = store.get(key)
+            fresh = session.run(config, use_cache=False)
+            if stored is None:
+                print(f"MISSING {key} ({config.workload})")
+                failures += 1
+            elif stored.stats != fresh.stats:
+                print(f"MISMATCH {key} ({config.workload})")
+                failures += 1
+    extra = set(store.keys()) - {c.key() for c in configs}
+    for key in sorted(extra):
+        print(f"EXTRA {key}")
+        failures += 1
+    if failures:
+        print(f"verify FAILED: {failures} of {len(configs)} points "
+              f"differ from a serial run")
+        return 1
+    print(f"verify OK: {len(configs)} points bit-identical to a "
+          f"serial sweep")
+    return 0
+
+
+def cmd_check_resume(args) -> int:
+    """Resuming from a complete store must simulate zero points."""
+    spec = build_spec(args)
+    with Session() as session, ResultStore(args.store) as store:
+        results = session.sweep(spec, store=store)
+    simulated = [r for r in results if not r.cached]
+    if simulated:
+        print(f"resume FAILED: {len(simulated)} of {len(results)} "
+              f"points re-simulated")
+        return 1
+    print(f"resume OK: {len(results)} points served from the store, "
+          f"0 simulated")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sharded/resumable sweep driver for CI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one shard into a store")
+    add_spec_options(run_p)
+    run_p.add_argument("--shard", default=None, metavar="I/K")
+    run_p.add_argument("--store", type=Path, required=True)
+    run_p.add_argument("--jobs", "-j", type=int, default=1)
+    run_p.set_defaults(func=cmd_run)
+
+    merge_p = sub.add_parser("merge", help="merge shard stores")
+    merge_p.add_argument("sources", nargs="+", type=Path)
+    merge_p.add_argument("--store", type=Path, required=True)
+    merge_p.set_defaults(func=cmd_merge)
+
+    verify_p = sub.add_parser(
+        "verify", help="compare a store against an unsharded serial run")
+    add_spec_options(verify_p)
+    verify_p.add_argument("--store", type=Path, required=True)
+    verify_p.set_defaults(func=cmd_verify)
+
+    resume_p = sub.add_parser(
+        "check-resume",
+        help="assert a resumed sweep simulates zero points")
+    add_spec_options(resume_p)
+    resume_p.add_argument("--store", type=Path, required=True)
+    resume_p.set_defaults(func=cmd_check_resume)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

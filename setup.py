@@ -2,14 +2,16 @@
 
 The execution environment is offline with an old setuptools and no
 ``wheel`` package, so ``pip install -e .`` must take the legacy
-``setup.py develop`` path; all real metadata lives in pyproject.toml.
+``setup.py develop`` path; all real metadata lives in pyproject.toml
+(which deliberately omits a [build-system] table so pip keeps using
+this shim — keep the two files' fields in sync).
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.1.0",
+    version="1.2.0",
     description=("Long Term Parking (LTP): criticality-aware resource "
                  "allocation in OOO processors — MICRO 2015 reproduction"),
     python_requires=">=3.9",

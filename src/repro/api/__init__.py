@@ -13,6 +13,10 @@ The API layer is organised around four ideas:
   (:class:`SerialBackend`, :class:`ProcessPoolBackend` today).
 * :class:`SimResult` — typed results with cache provenance and wall
   time, JSON-ready via ``to_dict()``.
+* :class:`ResultStore` — durable, append-only JSONL stores of sweep
+  results; with :meth:`SweepSpec.shard` and ``Session.sweep(store=,
+  shard=)`` they make sweeps shardable across machines and resumable
+  (:func:`merge_stores` recombines shard artifacts).
 
 Quick start::
 
@@ -26,12 +30,13 @@ Quick start::
 """
 
 from repro.api.backends import (ExecutionBackend, ProcessPoolBackend,
-                                SerialBackend)
+                                SerialBackend, backend_for_jobs)
 from repro.api.registry import (Experiment, experiment, experiment_names,
                                 get_experiment, renderer)
 from repro.api.result import SimResult
 from repro.api.session import Session, default_session, set_default_session
-from repro.api.spec import SweepSpec
+from repro.api.spec import SweepSpec, parse_shard
+from repro.api.store import ResultStore, merge_stores, summarize
 from repro.harness.config import SimConfig
 from repro.ltp.config import ltp_preset, ltp_preset_names
 
@@ -39,17 +44,22 @@ __all__ = [
     "Experiment",
     "ExecutionBackend",
     "ProcessPoolBackend",
+    "ResultStore",
     "SerialBackend",
     "Session",
     "SimConfig",
     "SimResult",
     "SweepSpec",
+    "backend_for_jobs",
     "default_session",
     "experiment",
     "experiment_names",
     "get_experiment",
     "ltp_preset",
     "ltp_preset_names",
+    "merge_stores",
+    "parse_shard",
     "renderer",
     "set_default_session",
+    "summarize",
 ]

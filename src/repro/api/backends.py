@@ -136,3 +136,16 @@ class ProcessPoolBackend:
 
     def __repr__(self) -> str:
         return f"ProcessPoolBackend(jobs={self.jobs!r})"
+
+
+def backend_for_jobs(jobs: int | None) -> "ExecutionBackend":
+    """The execution backend a ``--jobs N`` style flag selects.
+
+    ``1`` is the plain in-process :class:`SerialBackend`; anything else
+    (including ``None`` = one worker per CPU and ``0``, its CLI
+    spelling) is a :class:`ProcessPoolBackend`, which itself degrades
+    to serial execution when only one worker or work item remains.
+    """
+    if jobs == 1:
+        return SerialBackend()
+    return ProcessPoolBackend(jobs=None if jobs == 0 else jobs)

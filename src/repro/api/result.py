@@ -12,7 +12,7 @@ JSON shape from :meth:`SimResult.to_dict`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from repro.harness.config import SimConfig
 
@@ -20,7 +20,9 @@ from repro.harness.config import SimConfig
 SOURCE_SIMULATED = "simulated"
 SOURCE_MEMORY = "memory"
 SOURCE_DISK = "disk"
-SOURCES = (SOURCE_SIMULATED, SOURCE_MEMORY, SOURCE_DISK)
+#: served from a persistent :class:`repro.api.store.ResultStore`
+SOURCE_STORE = "store"
+SOURCES = (SOURCE_SIMULATED, SOURCE_MEMORY, SOURCE_DISK, SOURCE_STORE)
 
 
 @dataclass
@@ -32,7 +34,8 @@ class SimResult:
     stats: Dict[str, Any]
     #: the configuration's stable cache key (``SimConfig.key()``)
     key: str
-    #: "simulated", "memory" (in-process cache) or "disk" (result cache)
+    #: "simulated", "memory" (in-process cache), "disk" (result cache)
+    #: or "store" (persistent sweep result store)
     source: str = SOURCE_SIMULATED
     #: wall-clock seconds spent simulating (0.0 for cache hits)
     wall_time_s: float = 0.0

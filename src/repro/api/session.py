@@ -25,11 +25,12 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import (Any, Callable, Dict, Iterable, List, Optional, Tuple)
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterable, List,
+                    Optional, Tuple)
 
 from repro.api.backends import ExecutionBackend, SerialBackend
 from repro.api.result import (SOURCE_DISK, SOURCE_MEMORY, SOURCE_SIMULATED,
-                              SimResult, cached_result)
+                              SOURCE_STORE, SimResult, cached_result)
 from repro.core.branch import GsharePredictor
 from repro.core.params import CoreParams, cap
 from repro.core.pipeline import Pipeline
@@ -42,6 +43,10 @@ from repro.ltp.controller import LTPController
 from repro.ltp.oracle import OracleInfo, annotate_trace
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.workloads import get_workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.spec import SweepSpec
+    from repro.api.store import ResultStore
 
 
 class Session:
@@ -198,6 +203,7 @@ class Session:
     def run_many(self, configs: Iterable[SimConfig],
                  use_cache: bool = True,
                  backend: Optional[ExecutionBackend] = None,
+                 store: Optional["ResultStore"] = None,
                  ) -> List[SimResult]:
         """Run independent configurations through an execution backend.
 
@@ -206,6 +212,12 @@ class Session:
         configurations are resolved in-process; each distinct remaining
         configuration is simulated exactly once and duplicates share the
         primary's statistics.
+
+        With a :class:`~repro.api.store.ResultStore`, points whose keys
+        the store already holds are served from it (``source ==
+        "store"``) without simulating, and every other outcome is
+        appended to the store as it lands — an interrupted batch keeps
+        all completed points, so re-running resumes where it stopped.
         """
         backend = backend or self.backend
         config_list = list(configs)
@@ -216,12 +228,20 @@ class Session:
         for index, config in enumerate(config_list):
             config.validate()
             key = config.key()
+            stored = store.get(key) if store is not None else None
+            if stored is not None:
+                results[index] = SimResult(
+                    config=config, stats=stored.stats, key=key,
+                    source=SOURCE_STORE, wall_time_s=0.0, backend="store")
+                continue
             hit = self.results.lookup(key) if use_cache else None
             if hit is not None:
                 stats, where = hit
                 source = SOURCE_MEMORY if where == "memory" else SOURCE_DISK
                 results[index] = cached_result(config, key, stats, source,
                                                backend="cache")
+                if store is not None:
+                    store.add(results[index])
             elif key in primary:  # simulate each distinct config once
                 duplicates.append((index, key))
             else:
@@ -238,6 +258,10 @@ class Session:
                 # pool workers already wrote the disk cache; keep only
                 # the in-memory copy here
                 self.results.put(key, stats, disk=False)
+            if store is not None:
+                # persist as each point lands, so an interrupted sweep
+                # keeps everything it finished
+                store.add(results[index])
 
         for index, key in duplicates:
             # a duplicate IS the primary's outcome: share the result
@@ -247,10 +271,32 @@ class Session:
         return [results[index] for index in range(len(config_list))]
 
     def sweep(self, spec: "SweepSpec", use_cache: bool = True,
-              backend: Optional[ExecutionBackend] = None) -> List[SimResult]:
-        """Expand a :class:`~repro.api.spec.SweepSpec` and run it."""
-        return self.run_many(spec.expand(), use_cache=use_cache,
-                             backend=backend)
+              backend: Optional[ExecutionBackend] = None,
+              store: Optional["ResultStore"] = None,
+              shard: Optional[Tuple[int, int]] = None) -> List[SimResult]:
+        """Expand a :class:`~repro.api.spec.SweepSpec` and run it.
+
+        ``shard=(index, count)`` restricts execution to the spec's
+        *index*-th key-stable partition
+        (:meth:`~repro.api.spec.SweepSpec.shard`), so independent
+        workers cover a sweep exactly once.  A ``store`` makes the run
+        durable and resumable: stored points are skipped, fresh points
+        are appended as they complete, and the store is bound to the
+        spec's :meth:`~repro.api.spec.SweepSpec.sweep_id` so resuming
+        with a different spec fails fast.
+        """
+        if shard is not None:
+            index, count = shard
+            configs = spec.shard(index, count)
+        else:
+            configs = spec.expand()
+        if store is not None:
+            # bind before running so a wrong spec fails fast, and
+            # materialise the file so even an empty shard leaves a
+            # mergeable artifact
+            store.bind(spec.sweep_id()).touch()
+        return self.run_many(configs, use_cache=use_cache,
+                             backend=backend, store=store)
 
     # ------------------------------------------------------------------
     # the simulation itself

@@ -17,14 +17,24 @@ time.  Specs round-trip through :meth:`to_dict` / :meth:`from_dict`, so
 a sweep can live in a JSON file and be handed to
 :meth:`repro.api.session.Session.sweep` as the user-facing entry point
 — replacing the implicit plan/execute dance for ad-hoc sweeps.
+
+For multi-worker execution, :meth:`SweepSpec.shard` partitions the
+expanded product into ``count`` disjoint subsets whose union is exactly
+:meth:`expand`.  Assignment depends only on each configuration's cache
+key (``int(key, 16) % count``), never on its position, so K CI matrix
+jobs — or K machines — each running ``spec.shard(i, K)`` cover the
+sweep exactly once, and a point keeps its shard when unrelated axis
+values are added to the spec.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
 from dataclasses import asdict, dataclass, field
 from dataclasses import fields as dataclass_fields
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.params import CoreParams
 from repro.harness.config import (SimConfig, core_from_dict, ltp_from_dict)
@@ -52,6 +62,34 @@ def _check_axis(path: str) -> None:
     raise ValueError(
         f"unknown sweep axis {path!r}: use 'core.<field>', 'ltp.<field>', "
         f"'warmup' or 'measure'")
+
+
+def shard_of(key: str, count: int) -> int:
+    """The shard (0-based) a cache key belongs to in a *count*-way split."""
+    if count < 1:
+        raise ValueError("shard count must be >= 1")
+    return int(key, 16) % count
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse an ``"i/k"`` shard designator into ``(index, count)``.
+
+    Accepts what the ``repro sweep --shard`` flag takes: a 0-based index
+    and the total shard count, e.g. ``"0/4"`` … ``"3/4"``.
+    """
+    index_text, sep, count_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"bad shard designator {text!r}: expected 'index/count', "
+            f"e.g. '0/4'") from None
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"bad shard designator {text!r}: need 0 <= index < count")
+    return index, count
 
 
 @dataclass
@@ -110,6 +148,34 @@ class SweepSpec:
                     setattr(config, name, int(value))
                 configs.append(config.validate())
         return configs
+
+    def shard(self, index: int, count: int) -> List[SimConfig]:
+        """The *index*-th of *count* disjoint partitions of :meth:`expand`.
+
+        Membership is decided by each configuration's cache key alone
+        (:func:`shard_of`), so the split is stable under re-expansion
+        and the union over ``shard(0, k) … shard(k-1, k)`` is exactly
+        the full sweep, each point appearing in precisely one shard.
+        Expansion order is preserved within a shard.  Shards of an
+        uneven split differ in size; some may be empty.
+        """
+        if count < 1:
+            raise ValueError("shard count must be >= 1")
+        if not 0 <= index < count:
+            raise ValueError(
+                f"shard index {index} out of range for count {count}")
+        return [config for config in self.expand()
+                if shard_of(config.key(), count) == index]
+
+    def sweep_id(self) -> str:
+        """Stable content hash identifying this sweep's definition.
+
+        Derived from the same payload as :meth:`to_dict`, so equal specs
+        — however constructed — share an id.  Result stores record it to
+        refuse mixing results from different sweeps.
+        """
+        text = json.dumps(self.to_dict(), sort_keys=True, default=str)
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
 
     def __len__(self) -> int:
         """Number of configurations :meth:`expand` will produce."""

@@ -1,0 +1,293 @@
+"""Persistent, append-only sweep result stores.
+
+A :class:`ResultStore` is a JSONL file of
+:meth:`repro.api.result.SimResult.to_dict` rows, headed by a record
+naming the sweep it belongs to.  It is the durable complement of the
+in-process result cache: shards of a sweep running on different
+machines (or CI matrix jobs) each write their own store, the files are
+merged with :func:`merge_stores`, and
+:meth:`repro.api.session.Session.sweep` resumes a partially completed
+sweep by skipping every point whose key the store already holds.
+
+Properties the design leans on:
+
+* **append-only** — rows are only ever added, one JSON object per
+  line, flushed as each result lands, so a crashed or interrupted
+  sweep keeps everything it finished (a torn trailing line is ignored
+  on load);
+* **dedupe by cache key** — :meth:`ResultStore.load` keeps the last
+  row per :meth:`SimConfig.key`, so re-appends and merged overlaps are
+  harmless;
+* **sweep identity** — the header records a
+  :meth:`~repro.api.spec.SweepSpec.sweep_id`; binding a store to a
+  different sweep (or merging stores of different sweeps) raises
+  instead of silently mixing results.
+
+:func:`summarize` aggregates a store's rows into the per-workload
+means (:mod:`repro.analysis.aggregate`) that
+:func:`repro.harness.report.render_sweep_summary` prints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import (IO, Any, Dict, Iterable, List, Optional, Sequence,
+                    Union)
+
+from repro.analysis.aggregate import arithmetic_mean, geometric_mean
+from repro.api.result import SimResult
+
+#: store-file schema (bump on incompatible row/header changes)
+STORE_SCHEMA = 1
+
+#: the header record's discriminator value
+_HEADER_RECORD = "header"
+
+PathLike = Union[str, Path]
+
+
+class ResultStore:
+    """An append-only JSONL store of simulation results for one sweep.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file.  Created (with its parent directory) on the
+        first append; an existing file is picked up where it left off.
+    sweep_id:
+        The owning sweep's identity.  ``None`` adopts whatever an
+        existing header declares (or leaves the store unbound); a
+        value that contradicts an existing header raises
+        ``ValueError``.
+    """
+
+    def __init__(self, path: PathLike,
+                 sweep_id: Optional[str] = None) -> None:
+        self.path = Path(path)
+        self.sweep_id = sweep_id
+        #: keys present in the file (insertion order, last-write wins)
+        self._results: Dict[str, SimResult] = {}
+        #: rows dropped on load (torn/corrupt lines)
+        self.skipped_rows = 0
+        self._handle: Optional[IO[str]] = None
+        self._header_written = False
+        if self.path.is_file():
+            self._load_existing()
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def _load_existing(self) -> None:
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    # torn trailing write from an interrupted run
+                    self.skipped_rows += 1
+                    continue
+                if not isinstance(payload, dict):
+                    self.skipped_rows += 1
+                    continue
+                if payload.get("record") == _HEADER_RECORD:
+                    self._header_written = True
+                    self._adopt_sweep_id(payload.get("sweep_id"))
+                    continue
+                try:
+                    result = SimResult.from_dict(payload)
+                except (KeyError, ValueError, TypeError):
+                    self.skipped_rows += 1
+                    continue
+                self._results[result.key] = result
+
+    def _adopt_sweep_id(self, header_id: Optional[str]) -> None:
+        if header_id is None:
+            return
+        if self.sweep_id is None:
+            self.sweep_id = header_id
+        elif self.sweep_id != header_id:
+            raise ValueError(
+                f"store {self.path} belongs to sweep {header_id!r}, "
+                f"not {self.sweep_id!r}")
+
+    def bind(self, sweep_id: str) -> "ResultStore":
+        """Attach the store to a sweep; mismatches raise.
+
+        ``Session.sweep`` binds the spec's id before running so a
+        resume against the wrong spec fails fast instead of merging
+        unrelated results.
+        """
+        if self.sweep_id is None:
+            self.sweep_id = sweep_id
+        elif self.sweep_id != sweep_id:
+            raise ValueError(
+                f"store {self.path} belongs to sweep "
+                f"{self.sweep_id!r}, not {sweep_id!r}")
+        return self
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def keys(self) -> List[str]:
+        """Cache keys present, in first-seen order."""
+        return list(self._results)
+
+    def get(self, key: str) -> Optional[SimResult]:
+        """The stored result for *key* (last write wins), or ``None``."""
+        return self._results.get(key)
+
+    def results(self) -> List[SimResult]:
+        """Deduped results, one per key, in first-seen order."""
+        return list(self._results.values())
+
+    def load(self) -> Dict[str, SimResult]:
+        """Key -> result mapping (deduped, last write per key wins)."""
+        return dict(self._results)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __repr__(self) -> str:
+        return (f"ResultStore({str(self.path)!r}, "
+                f"sweep_id={self.sweep_id!r}, rows={len(self)})")
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+    def _open(self) -> IO[str]:
+        if self._handle is None or self._handle.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # a torn trailing write (no final newline) must not corrupt
+            # the next row: start appends on a fresh line
+            needs_newline = False
+            if self.path.is_file() and self.path.stat().st_size > 0:
+                with open(self.path, "rb") as peek:
+                    peek.seek(-1, os.SEEK_END)
+                    needs_newline = peek.read(1) != b"\n"
+            self._handle = open(self.path, "a")
+            if needs_newline:
+                self._handle.write("\n")
+        return self._handle
+
+    def _write_row(self, payload: Dict[str, Any]) -> None:
+        handle = self._open()
+        handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def _ensure_header(self) -> None:
+        if self._header_written:
+            return
+        self._write_row({"record": _HEADER_RECORD,
+                         "schema": STORE_SCHEMA,
+                         "sweep_id": self.sweep_id})
+        self._header_written = True
+
+    def touch(self) -> "ResultStore":
+        """Materialise the file (header included) even with zero rows.
+
+        An empty shard of a sweep must still leave a mergeable store
+        artifact behind, so ``Session.sweep`` touches its store up
+        front.
+        """
+        self._ensure_header()
+        return self
+
+    def append(self, result: SimResult) -> None:
+        """Append one result row (flushed immediately, crash-safe)."""
+        self._ensure_header()
+        self._write_row(result.to_dict())
+        self._results[result.key] = result
+
+    def add(self, result: SimResult) -> bool:
+        """Append *result* unless its key is already stored.
+
+        Returns ``True`` when a row was written — the idempotent
+        variant sweeps use so resumed runs never bloat the log.
+        """
+        if result.key in self._results:
+            return False
+        self.append(result)
+        return True
+
+    def extend(self, results: Iterable[SimResult]) -> int:
+        """``add`` each result; returns how many rows were written."""
+        return sum(1 for result in results if self.add(result))
+
+    # ------------------------------------------------------------------
+    # lifetime
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def merge_stores(destination: PathLike, sources: Sequence[PathLike],
+                 sweep_id: Optional[str] = None) -> ResultStore:
+    """Merge *sources* into one store at *destination* (returned open).
+
+    Rows are deduped by cache key — the first source holding a key
+    wins, matching shard semantics where any duplicate row carries
+    identical statistics.  Sweep ids must agree across every source
+    (and *destination*, if it already exists); ``None`` headers are
+    tolerated and adopt the first concrete id seen.  A source path
+    that does not exist raises ``FileNotFoundError`` — a typo or an
+    unmatched glob must not silently merge into an empty store.
+    """
+    missing = [str(source) for source in sources
+               if not Path(source).is_file()]
+    if missing:
+        raise FileNotFoundError(
+            f"result store(s) not found: {', '.join(missing)}")
+    merged = ResultStore(destination, sweep_id=sweep_id)
+    for source in sources:
+        store = ResultStore(source)
+        if store.sweep_id is not None:
+            merged._adopt_sweep_id(store.sweep_id)
+        merged.extend(store.results())
+        store.close()
+    return merged
+
+
+def summarize(results: Iterable[SimResult]) -> Dict[str, Any]:
+    """Aggregate results into the per-workload summary the CLI prints.
+
+    Returns ``{"points", "simulated", "workloads": {name: {"points",
+    "mean_cpi", "geomean_ipc", "mean_cycles"}}}`` — the means come from
+    :mod:`repro.analysis.aggregate`, and
+    :func:`repro.harness.report.render_sweep_summary` turns the payload
+    into a table.
+    """
+    by_workload: Dict[str, List[SimResult]] = {}
+    total = simulated = 0
+    for result in results:
+        total += 1
+        if not result.cached:
+            simulated += 1
+        by_workload.setdefault(result.config.workload, []).append(result)
+    workloads = {
+        name: {
+            "points": len(rows),
+            "mean_cpi": arithmetic_mean([r.cpi for r in rows]),
+            "geomean_ipc": geometric_mean([r.ipc for r in rows]),
+            "mean_cycles": arithmetic_mean(
+                [float(r.stats["cycles"]) for r in rows]),
+        }
+        for name, rows in sorted(by_workload.items())
+    }
+    return {"points": total, "simulated": simulated,
+            "workloads": workloads}

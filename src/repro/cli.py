@@ -10,6 +10,10 @@ Commands:
   static instruction (the Figure 2 view, for any kernel).
 * ``experiment NAME`` — regenerate one of the paper's tables/figures
   (``--json`` for the raw result document).
+* ``sweep SPEC`` — run a declarative sweep (a ``SweepSpec`` JSON file
+  or a named preset) with optional key-stable sharding
+  (``--shard i/k``), a durable result store (``--store``), resume
+  (``--resume``) and store merging (``--merge``).
 
 Everything routes through :mod:`repro.api`: the LTP presets come from
 the shared registry in :mod:`repro.ltp.config`, experiments resolve via
@@ -23,13 +27,19 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from repro.api import (experiment_names, get_experiment, ltp_preset,
-                       ltp_preset_names)
+from repro.api import (ResultStore, SweepSpec, backend_for_jobs,
+                       default_session, experiment_names, get_experiment,
+                       ltp_preset, ltp_preset_names, merge_stores,
+                       parse_shard, summarize)
 from repro.core.params import baseline_params, ltp_params
 from repro.harness.config import SimConfig
-from repro.harness.report import render_json, render_table
+from repro.harness.experiments import (resolve_sweep_spec,
+                                       sweep_preset_names)
+from repro.harness.report import (render_json, render_sweep_summary,
+                                  render_table)
 from repro.harness.runner import run_sim_result
 from repro.ltp.config import LTP_PRESETS
 from repro.ltp.oracle import annotate_trace
@@ -77,6 +87,33 @@ def build_parser() -> argparse.ArgumentParser:
                             "0 = one per CPU)")
     exp_p.add_argument("--json", action="store_true",
                        help="emit the raw result document as JSON")
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a declarative sweep (shardable, resumable)")
+    sweep_p.add_argument(
+        "spec", nargs="?", default=None,
+        help="SweepSpec JSON file, or a preset name "
+             f"({', '.join(sweep_preset_names())})")
+    sweep_p.add_argument("--shard", type=parse_shard, default=None,
+                         metavar="I/K",
+                         help="run only the I-th of K key-stable "
+                              "partitions of the sweep")
+    sweep_p.add_argument("--store", type=Path, default=None,
+                         help="append results to this JSONL store "
+                              "(created if missing)")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="continue an existing store, skipping "
+                              "points it already holds")
+    sweep_p.add_argument("--merge", nargs="+", type=Path, default=None,
+                         metavar="SRC",
+                         help="merge these stores into --store instead "
+                              "of running a sweep")
+    sweep_p.add_argument("--jobs", "-j", type=int, default=1,
+                         help="worker processes (default 1; 0 = one "
+                              "per CPU)")
+    sweep_p.add_argument("--no-cache", action="store_true")
+    sweep_p.add_argument("--json", action="store_true",
+                         help="emit the sweep document as JSON")
     return parser
 
 
@@ -146,6 +183,90 @@ def cmd_classify(args, out) -> int:
     return 0
 
 
+def _sweep_document(spec: SweepSpec, results, args) -> dict:
+    counts = {
+        "simulated": sum(1 for r in results if not r.cached),
+        "from_store": sum(1 for r in results if r.source == "store"),
+        "from_cache": sum(1 for r in results
+                          if r.source in ("memory", "disk")),
+    }
+    return {
+        "sweep_id": spec.sweep_id(),
+        "points": len(results),
+        "shard": (f"{args.shard[0]}/{args.shard[1]}"
+                  if args.shard else None),
+        "store": str(args.store) if args.store else None,
+        **counts,
+        "summary": summarize(results),
+        "results": [r.to_dict() for r in results],
+    }
+
+
+def cmd_sweep(args, out) -> int:
+    if args.merge is not None:
+        if args.store is None:
+            print("--merge requires --store DEST", file=out)
+            return 2
+        with merge_stores(args.store, args.merge) as merged:
+            if args.spec is not None:
+                # a named SPEC validates the merge: shards of a
+                # different sweep must not recombine under its flag
+                merged.bind(resolve_sweep_spec(args.spec).sweep_id())
+            results = merged.results()
+            if args.json:
+                print(render_json({
+                    "store": str(args.store),
+                    "sweep_id": merged.sweep_id,
+                    "points": len(results),
+                    "sources": [str(p) for p in args.merge],
+                    "summary": summarize(results),
+                }), file=out)
+            else:
+                print(render_sweep_summary(
+                    summarize(results),
+                    title=f"Merged {len(args.merge)} store(s) -> "
+                          f"{args.store}"), file=out)
+        return 0
+
+    if args.spec is None:
+        print("sweep needs a SPEC (JSON file or preset name) unless "
+              "--merge is given", file=out)
+        return 2
+    if args.resume and args.store is None:
+        print("--resume requires --store PATH", file=out)
+        return 2
+    spec = resolve_sweep_spec(args.spec)
+
+    store = None
+    if args.store is not None:
+        if args.store.exists() and not args.resume:
+            print(f"store {args.store} already exists; pass --resume "
+                  f"to continue it", file=out)
+            return 2
+        store = ResultStore(args.store)
+
+    session = default_session()
+    backend = backend_for_jobs(args.jobs)
+    try:
+        results = session.sweep(spec, use_cache=not args.no_cache,
+                                backend=backend, store=store,
+                                shard=args.shard)
+    finally:
+        if store is not None:
+            store.close()
+
+    if args.json:
+        print(render_json(_sweep_document(spec, results, args)),
+              file=out)
+        return 0
+    shard_note = (f" (shard {args.shard[0]}/{args.shard[1]})"
+                  if args.shard else "")
+    print(render_sweep_summary(
+        summarize(results),
+        title=f"Sweep {spec.sweep_id()}{shard_note}"), file=out)
+    return 0
+
+
 def cmd_experiment(args, out) -> int:
     exp = get_experiment(args.name)
     jobs = args.jobs if args.jobs != 0 else None
@@ -169,6 +290,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_classify(args, out)
     if args.command == "experiment":
         return cmd_experiment(args, out)
+    if args.command == "sweep":
+        return cmd_sweep(args, out)
     raise AssertionError("unreachable")
 
 

@@ -22,12 +22,15 @@ hard-coded table, so new scenarios only need a decorated function.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.aggregate import (arithmetic_mean, geometric_mean,
                                       mean_relative_performance)
 from repro.analysis.mlp_class import SensitivityInputs, classify
 from repro.api.registry import experiment, renderer
+from repro.api.spec import SweepSpec
 from repro.core.params import CoreParams, baseline_params, ltp_params
 from repro.energy.model import compute_energy, relative_ed2p
 from repro.harness.config import SimConfig
@@ -837,3 +840,78 @@ def render_headline(result: dict) -> str:
         rows, precision=1,
         title="Headline: shrinking IQ 64->32 and RF 128->96, "
               "with and without the proposed LTP")
+
+
+# ======================================================================
+# named sweep presets (``repro sweep NAME`` / scripts/ci_sweep.py)
+# ======================================================================
+def ltp_queue_sweep(workloads: Optional[Sequence[str]] = None,
+                    warmup: Optional[int] = None,
+                    measure: Optional[int] = None) -> SweepSpec:
+    """The Figure-style headline sweep: LTP on/off x queue sizes.
+
+    Sweeps the proposed LTP design against the no-LTP baseline across
+    issue-queue sizes for the full MLP-sensitive + MLP-insensitive
+    kernel suite — the axis product behind the paper's headline
+    figures, and the sweep CI shards four ways.
+    """
+    names = (list(workloads) if workloads is not None
+             else [w.name for w in (mlp_sensitive_suite()
+                                    + mlp_insensitive_suite())])
+    return SweepSpec(
+        workloads=names,
+        core=ltp_params(),
+        ltp=proposed_ltp().but(enabled=False),
+        warmup=warmup, measure=measure,
+        axes={"core.iq_size": [16, 32, 64],
+              "ltp.enabled": [False, True]})
+
+
+#: name -> zero-config SweepSpec factory; ``repro sweep <name>`` and the
+#: CI driver resolve sweeps here when the argument is not a JSON file
+SWEEP_PRESETS: Dict[str, Callable[..., SweepSpec]] = {
+    "ltp-queues": ltp_queue_sweep,
+}
+
+
+def sweep_preset(name: str, **kwargs) -> SweepSpec:
+    """Build a registered sweep preset by name."""
+    try:
+        factory = SWEEP_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(SWEEP_PRESETS)) or "none"
+        raise KeyError(
+            f"unknown sweep preset {name!r} (registered: {known})") \
+            from None
+    return factory(**kwargs)
+
+
+def sweep_preset_names() -> List[str]:
+    """Sorted names of the registered sweep presets."""
+    return sorted(SWEEP_PRESETS)
+
+
+def resolve_sweep_spec(text: str, warmup: Optional[int] = None,
+                       measure: Optional[int] = None) -> SweepSpec:
+    """Resolve a sweep argument: a SweepSpec JSON file, else a preset.
+
+    The one place ``repro sweep`` and ``scripts/ci_sweep.py`` share, so
+    spec-format and preset changes land once.  Budget overrides apply
+    to both forms (``None`` keeps the file's or factory's value).
+    """
+    path = Path(text)
+    if path.is_file():
+        with open(path) as handle:
+            spec = SweepSpec.from_dict(json.load(handle))
+        if warmup is not None:
+            spec.warmup = warmup
+        if measure is not None:
+            spec.measure = measure
+        return spec
+    try:
+        return sweep_preset(text, warmup=warmup, measure=measure)
+    except KeyError:
+        presets = ", ".join(sweep_preset_names()) or "none"
+        raise ValueError(
+            f"sweep spec {text!r} is neither a JSON file nor a "
+            f"registered preset (presets: {presets})") from None

@@ -58,3 +58,22 @@ def render_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
 def size_label(size) -> str:
     """Render a structure-size sweep point ('inf' for unlimited)."""
     return "inf" if size is None else str(size)
+
+
+def render_sweep_summary(summary: dict, title: Optional[str] = None) -> str:
+    """Render a :func:`repro.api.store.summarize` payload as a table.
+
+    One row per workload (points, mean CPI, geomean IPC, mean cycles),
+    preceded by the sweep's point/simulated counts.
+    """
+    rows = [[name, data["points"], data["mean_cpi"],
+             data["geomean_ipc"], data["mean_cycles"]]
+            for name, data in summary["workloads"].items()]
+    table = render_table(
+        ["workload", "points", "mean CPI", "geomean IPC", "mean cycles"],
+        rows, precision=3, title=title)
+    counts = (f"{summary['points']} points "
+              f"({summary['simulated']} simulated, "
+              f"{summary['points'] - summary['simulated']} from "
+              f"cache/store)")
+    return f"{counts}\n{table}"

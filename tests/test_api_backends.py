@@ -1,7 +1,6 @@
 """Backend-equivalence: serial and process-pool execution must produce
 identical statistics (the execution-mode-invariant signature and more)."""
 
-import pytest
 
 from repro.api import ProcessPoolBackend, SerialBackend, Session
 from repro.core.params import baseline_params, ltp_params

@@ -1,0 +1,69 @@
+"""End-to-end test of scripts/ci_sweep.py — the exact shard/merge/
+verify/check-resume sequence the CI workflow runs, on a tiny spec."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DRIVER = REPO_ROOT / "scripts" / "ci_sweep.py"
+
+SPEC = {
+    "workloads": ["compute_int", "stream_triad"],
+    "axes": {"core.iq_size": [16, 32]},
+    "warmup": 150, "measure": 120,
+}
+
+
+def run_driver(args, tmp_path):
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    env.pop("PYTHONPATH", None)  # the driver sets up sys.path itself
+    return subprocess.run(
+        [sys.executable, str(DRIVER), *args], cwd=str(REPO_ROOT),
+        env=env, capture_output=True, text=True)
+
+
+def test_ci_sweep_shard_merge_verify_resume(tmp_path):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+    stores = []
+    for index in range(2):
+        store = tmp_path / f"shard{index}.jsonl"
+        stores.append(str(store))
+        proc = run_driver(["run", "--spec", str(spec_path),
+                           "--shard", f"{index}/2", "--store", str(store)],
+                          tmp_path)
+        assert proc.returncode == 0, proc.stderr
+        assert "points" in proc.stdout
+
+    merged = tmp_path / "merged.jsonl"
+    proc = run_driver(["merge", *stores, "--store", str(merged)], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert "4 points" in proc.stdout
+
+    proc = run_driver(["verify", "--spec", str(spec_path),
+                       "--store", str(merged)], tmp_path)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "bit-identical" in proc.stdout
+
+    proc = run_driver(["check-resume", "--spec", str(spec_path),
+                       "--store", str(merged)], tmp_path)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 simulated" in proc.stdout
+
+
+def test_ci_sweep_verify_detects_missing_point(tmp_path):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+    store = tmp_path / "partial.jsonl"
+    # only one of two shards ran: verify must fail
+    proc = run_driver(["run", "--spec", str(spec_path), "--shard", "0/2",
+                       "--store", str(store)], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    proc = run_driver(["verify", "--spec", str(spec_path),
+                       "--store", str(store)], tmp_path)
+    assert proc.returncode == 1
+    assert "MISSING" in proc.stdout

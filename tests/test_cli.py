@@ -99,3 +99,119 @@ def test_parser_requires_command():
 def test_run_unknown_workload_raises():
     with pytest.raises(KeyError):
         run_cli(["run", "not_a_workload", "--no-cache"])
+
+
+# -------------------------------------------------------------- sweep
+SPEC_PAYLOAD = {
+    "workloads": ["compute_int"],
+    "axes": {"core.iq_size": [16, 32]},
+    "warmup": 150, "measure": 120,
+}
+
+
+def write_spec(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC_PAYLOAD))
+    return path
+
+
+def test_sweep_command_runs_spec_file(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    code, text = run_cli(["sweep", str(write_spec(tmp_path)), "--json",
+                          "--no-cache"])
+    assert code == 0
+    payload = json.loads(text)
+    assert payload["points"] == 2
+    assert payload["simulated"] == 2
+    assert payload["shard"] is None
+    assert payload["summary"]["workloads"]["compute_int"]["points"] == 2
+    assert len(payload["results"]) == 2
+
+
+def test_sweep_command_shard_store_resume_merge(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    spec = write_spec(tmp_path)
+    shard_args = []
+    for index in range(2):
+        store = tmp_path / f"shard{index}.jsonl"
+        code, text = run_cli(["sweep", str(spec), "--no-cache",
+                              "--shard", f"{index}/2",
+                              "--store", str(store), "--json"])
+        assert code == 0
+        shard_args.append(str(store))
+    merged = tmp_path / "merged.jsonl"
+    code, text = run_cli(["sweep", "--merge", *shard_args,
+                          "--store", str(merged), "--json"])
+    assert code == 0
+    payload = json.loads(text)
+    assert payload["points"] == 2
+    # resuming from the merged store simulates nothing
+    code, text = run_cli(["sweep", str(spec), "--no-cache", "--resume",
+                          "--store", str(merged), "--json"])
+    assert code == 0
+    payload = json.loads(text)
+    assert payload["simulated"] == 0
+    assert payload["from_store"] == 2
+
+
+def test_sweep_merge_validates_named_spec(tmp_path, monkeypatch):
+    """SPEC alongside --merge binds the merged store to that sweep."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    spec = write_spec(tmp_path)
+    store = tmp_path / "shard.jsonl"
+    assert run_cli(["sweep", str(spec), "--no-cache", "--shard", "0/2",
+                    "--store", str(store)])[0] == 0
+    # matching spec: merge succeeds
+    assert run_cli(["sweep", str(spec), "--merge", str(store),
+                    "--store", str(tmp_path / "ok.jsonl")])[0] == 0
+    # different spec: the merge is refused
+    other = tmp_path / "other.json"
+    other.write_text(json.dumps({**SPEC_PAYLOAD, "measure": 130}))
+    with pytest.raises(ValueError, match="belongs to sweep"):
+        run_cli(["sweep", str(other), "--merge", str(store),
+                 "--store", str(tmp_path / "bad.jsonl")])
+
+
+def test_sweep_command_table_output(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    code, text = run_cli(["sweep", str(write_spec(tmp_path)),
+                          "--no-cache"])
+    assert code == 0
+    assert "2 points (2 simulated" in text
+    assert "compute_int" in text
+
+
+def test_sweep_command_refuses_existing_store_without_resume(
+        tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    spec = write_spec(tmp_path)
+    store = tmp_path / "store.jsonl"
+    assert run_cli(["sweep", str(spec), "--store", str(store),
+                    "--no-cache"])[0] == 0
+    code, text = run_cli(["sweep", str(spec), "--store", str(store),
+                          "--no-cache"])
+    assert code == 2
+    assert "--resume" in text
+
+
+def test_sweep_command_argument_errors(tmp_path):
+    code, text = run_cli(["sweep"])
+    assert code == 2 and "SPEC" in text
+    code, text = run_cli(["sweep", "--merge", "x.jsonl"])
+    assert code == 2 and "--store" in text
+    code, text = run_cli(["sweep", str(tmp_path / "spec.json"),
+                          "--resume"])
+    assert code == 2 and "--store" in text
+    with pytest.raises(ValueError, match="neither a JSON file nor"):
+        run_cli(["sweep", "no-such-preset"])
+    with pytest.raises(SystemExit):  # argparse rejects bad shards
+        run_cli(["sweep", "x.json", "--shard", "4/4"])
+
+
+def test_sweep_preset_resolves(tmp_path, monkeypatch):
+    """Preset names expand without a spec file (shard keeps it tiny)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    from repro.harness.experiments import sweep_preset
+    spec = sweep_preset("ltp-queues")
+    assert len(spec) == 90  # 15 workloads x 3 IQ sizes x LTP on/off
+    assert len(spec.workloads) == 15

@@ -5,7 +5,6 @@ rendering) quickly; the benchmarks run them at full budgets and assert
 the paper's shapes.
 """
 
-import pytest
 
 from repro.harness import experiments as exp
 

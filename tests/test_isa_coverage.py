@@ -128,7 +128,6 @@ def test_fldx_indexed():
 
 def test_every_opcode_is_exercised_somewhere():
     """Meta-test: the opcode table matches the assembler's vocabulary."""
-    program_text = []
     for opcode, (op_class, n_srcs, has_dst) in sorted(OPCODES.items()):
         assert isinstance(n_srcs, int)
         assert isinstance(has_dst, bool)

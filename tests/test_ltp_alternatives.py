@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.params import CoreParams
 from repro.core.pipeline import Pipeline
 from repro.ltp.config import LTPConfig, limit_ltp, wib_ltp
 from repro.ltp.controller import LTPController

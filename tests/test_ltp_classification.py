@@ -1,11 +1,7 @@
 """Unit tests for oracle and online (UIT) classification."""
 
-from repro.isa.assembler import assemble
-from repro.isa.executor import Executor, Memory
 from repro.ltp.classifier import OnlineClassifier, OracleClassifier
-from repro.ltp.config import LTPConfig
 from repro.ltp.oracle import annotate_trace
-from repro.memory.hierarchy import MemParams
 
 from tests.conftest import make_trace
 

@@ -1,11 +1,9 @@
 """Edge-case tests for LTP: forced release with live tickets, monitor
 transitions mid-flight, ticket exhaustion, and mixed-mode interactions."""
 
-import pytest
 
-from repro.core.params import CoreParams
 from repro.core.pipeline import Pipeline
-from repro.ltp.config import LTPConfig, limit_ltp
+from repro.ltp.config import limit_ltp
 from repro.ltp.controller import LTPController
 from repro.ltp.oracle import annotate_trace
 

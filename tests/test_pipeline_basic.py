@@ -1,6 +1,5 @@
 """Pipeline tests: basic execution, latency and width behaviour."""
 
-import pytest
 
 from repro.core.params import CoreParams
 from repro.core.pipeline import Pipeline, simulate

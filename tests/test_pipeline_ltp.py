@@ -1,6 +1,5 @@
 """Pipeline + LTP integration tests."""
 
-import pytest
 
 from repro.core.params import CoreParams
 from repro.core.pipeline import Pipeline

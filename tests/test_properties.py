@@ -10,7 +10,7 @@ from repro.ltp.tickets import TicketPool
 from repro.ltp.uit import UrgentInstructionTable
 from repro.core.regfile import RegisterFile
 from repro.isa.assembler import assemble
-from repro.isa.executor import Executor, Memory
+from repro.isa.executor import Executor
 
 
 # --------------------------------------------------------------- cache
@@ -179,10 +179,10 @@ def test_oracle_urgent_ancestor_closure_random_chain(n, seed_base)-> None:
         if choice == 0:
             lines.append(f"add {reg}, {src}, r2")
         elif choice == 1:
-            lines.append(f"addi r2, r2, 64")
+            lines.append("addi r2, r2, 64")
         else:
-            lines.append(f"slli r4, r2, 14")
-            lines.append(f"add r4, r1, r4")
+            lines.append("slli r4, r2, 14")
+            lines.append("add r4, r1, r4")
             lines.append(f"ld {reg}, r4, 0")
     lines.append("halt")
     trace = list(Executor(assemble("\n".join(lines))).run(5000))

@@ -11,7 +11,7 @@ from hypothesis import given, settings
 from repro.core.params import CoreParams
 from repro.core.pipeline import Pipeline
 from repro.isa.assembler import assemble
-from repro.isa.executor import Executor, Memory
+from repro.isa.executor import Executor
 from repro.ltp.config import LTPConfig, limit_ltp, no_ltp
 from repro.ltp.controller import LTPController
 from repro.ltp.oracle import annotate_trace

@@ -8,7 +8,6 @@ from repro.harness.runner import (clear_memory_caches, get_oracle,
                                   get_trace, run_sim)
 from repro.ltp.config import limit_ltp, no_ltp, proposed_ltp
 from repro.ltp.controller import LTPController
-from repro.memory.hierarchy import MemoryHierarchy
 from repro.workloads import get_workload
 
 

@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.isa.executor import Executor, Memory
 from repro.ltp.oracle import annotate_trace
-from repro.workloads import (MLP_INSENSITIVE, MLP_SENSITIVE, full_suite,
-                             get_workload, mlp_insensitive_suite,
+from repro.workloads import (get_workload, mlp_insensitive_suite,
                              mlp_sensitive_suite, workload_names)
 from repro.workloads.builders import (index_array, linked_ring, region_base,
                                       sequential_array)
@@ -165,7 +163,6 @@ def test_linked_ring_is_a_cycle():
 
 def test_linked_ring_nodes_on_distinct_blocks():
     memory, head = linked_ring(0x10000, nodes=64, region_blocks=64, seed=2)
-    blocks = {addr // 64 for addr in memory if memory[addr] != 0}
     assert len({a // 64 for a in memory}) == 64
 
 
