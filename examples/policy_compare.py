@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Compare allocation policies on one workload via the policy seam.
+
+The pipeline's rename stage drives a pluggable
+:class:`repro.policies.AllocationPolicy`: the paper's LTP is one
+registered policy, and this example puts it side by side with the
+stalling baseline, perfect oracle classification, and the
+criticality-blind strawmen — one ``"policy"`` sweep axis, no special
+cases.
+
+Usage::
+
+    python examples/policy_compare.py [workload]
+"""
+
+import sys
+
+from repro.api import Session, SweepSpec, policy_descriptions
+from repro.core.params import ltp_params
+from repro.harness.report import render_table
+from repro.ltp.config import proposed_ltp
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "lattice_milc"
+    policies = ["baseline-stall", "ltp", "oracle-park", "random-park",
+                "depth-park"]
+    spec = SweepSpec(workloads=[workload], core=ltp_params(),
+                     ltp=proposed_ltp(), axes={"policy": policies})
+
+    with Session() as session:
+        results = session.sweep(spec)
+
+    baseline_cycles = results[0]["cycles"]  # baseline-stall is first
+    rows = []
+    for result in results:
+        rows.append([
+            result.config.policy,
+            result.cpi,
+            (baseline_cycles / result["cycles"] - 1.0) * 100.0,
+            int(result["ltp_parked"]),
+            result["avg_ltp"],
+        ])
+    print(render_table(
+        ["policy", "CPI", "perf vs baseline-stall (%)", "parked insts",
+         "avg parked"],
+        rows, title=f"Allocation policies — workload: {workload} "
+                    f"(IQ:32 RF:96 core)"))
+    print()
+    print("Criticality-aware parking (ltp, oracle-park) should recover "
+          "performance the small core loses;\nrandom-park parks plenty "
+          "but blindly — the paper's argument, now one sweep axis.")
+    print()
+    for name, description in policy_descriptions().items():
+        print(f"  {name:15s} {description}")
+
+
+if __name__ == "__main__":
+    main()

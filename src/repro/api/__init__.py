@@ -17,6 +17,9 @@ The API layer is organised around four ideas:
   results; with :meth:`SweepSpec.shard` and ``Session.sweep(store=,
   shard=)`` they make sweeps shardable across machines and resumable
   (:func:`merge_stores` recombines shard artifacts).
+* Allocation policies — :mod:`repro.policies` owns *when* resources
+  are claimed; ``SimConfig(policy=...)`` / a ``"policy"`` sweep axis
+  selects a registered policy (:func:`policy_names`).
 
 Quick start::
 
@@ -39,8 +42,12 @@ from repro.api.spec import SweepSpec, parse_shard
 from repro.api.store import ResultStore, merge_stores, summarize
 from repro.harness.config import SimConfig
 from repro.ltp.config import ltp_preset, ltp_preset_names
+from repro.policies import (DEFAULT_POLICY, AllocationPolicy, build_policy,
+                            policy_descriptions, policy_names)
 
 __all__ = [
+    "AllocationPolicy",
+    "DEFAULT_POLICY",
     "Experiment",
     "ExecutionBackend",
     "ProcessPoolBackend",
@@ -51,6 +58,7 @@ __all__ = [
     "SimResult",
     "SweepSpec",
     "backend_for_jobs",
+    "build_policy",
     "default_session",
     "experiment",
     "experiment_names",
@@ -59,6 +67,8 @@ __all__ = [
     "ltp_preset_names",
     "merge_stores",
     "parse_shard",
+    "policy_descriptions",
+    "policy_names",
     "renderer",
     "set_default_session",
     "summarize",

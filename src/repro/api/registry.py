@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.util import first_doc_line
+
 
 @dataclass
 class Experiment:
@@ -61,8 +63,7 @@ def experiment(name: str, description: Optional[str] = None) -> Callable:
             raise ValueError(f"experiment {name!r} is already registered")
         doc = description
         if doc is None:
-            doc = (func.__doc__ or "").strip().splitlines()[0] \
-                if func.__doc__ else ""
+            doc = first_doc_line(func.__doc__)
         _REGISTRY[name] = Experiment(name=name, runner=func,
                                      description=doc)
         return func

@@ -39,9 +39,9 @@ from repro.harness.config import SimConfig
 from repro.harness.runner import (ORACLE_CACHE_MAX, TRACE_CACHE_MAX,
                                   warm_branch_predictor, warm_hierarchy)
 from repro.isa.trace import DynInst
-from repro.ltp.controller import LTPController
 from repro.ltp.oracle import OracleInfo, annotate_trace
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.policies import build_policy, policy_needs_oracle
 from repro.workloads import get_workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -309,7 +309,8 @@ class Session:
 
         oracle = (self.get_oracle(config.workload, total, config.core,
                                   trace)
-                  if config.ltp.enabled else None)
+                  if policy_needs_oracle(config.policy, config.ltp)
+                  else None)
 
         warmup_slice = trace[:config.warmup]
         measured = trace[config.warmup:]
@@ -320,14 +321,16 @@ class Session:
         bpred = GsharePredictor()
         warm_branch_predictor(bpred, warmup_slice)
 
-        controller = LTPController(config.ltp, config.core.mem.dram_latency,
-                                   oracle=oracle)
-        if config.ltp.enabled and oracle is not None and config.warmup:
-            controller.warm_from_trace(
-                warmup_slice, oracle.long_latency[:config.warmup])
+        policy = build_policy(config.policy, config.ltp,
+                              config.core.mem.dram_latency, oracle=oracle)
+        if config.warmup:
+            policy.warm_from_trace(
+                warmup_slice,
+                oracle.long_latency[:config.warmup]
+                if oracle is not None else None)
 
         pipeline = Pipeline(measured, params=config.core, ltp=config.ltp,
-                            controller=controller, hierarchy=hierarchy,
+                            policy=policy, hierarchy=hierarchy,
                             branch_predictor=bpred)
         stats = pipeline.run().as_dict()
         stats["workload"] = config.workload

@@ -11,8 +11,9 @@ the values to sweep — and expands their cross product into validated
 >>> len(spec.expand())
 6
 
-Axis paths address ``core.<field>``, ``ltp.<field>``, or the ``warmup``
-/ ``measure`` budgets; unknown paths raise ``ValueError`` at expansion
+Axis paths address ``core.<field>``, ``ltp.<field>``, the allocation
+``policy`` (:func:`repro.policies.policy_names`), or the ``warmup`` /
+``measure`` budgets; unknown paths raise ``ValueError`` at expansion
 time.  Specs round-trip through :meth:`to_dict` / :meth:`from_dict`, so
 a sweep can live in a JSON file and be handed to
 :meth:`repro.api.session.Session.sweep` as the user-facing entry point
@@ -39,9 +40,12 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.core.params import CoreParams
 from repro.harness.config import (SimConfig, core_from_dict, ltp_from_dict)
 from repro.ltp.config import LTPConfig
+from repro.policies.registry import DEFAULT_POLICY
 
 #: axis paths that address the simulation budgets directly
 _BUDGET_AXES = ("warmup", "measure")
+#: axis path that addresses the allocation policy
+_POLICY_AXIS = "policy"
 
 
 def _axis_fields(cls: type) -> frozenset:
@@ -52,7 +56,7 @@ _LTP_FIELDS = _axis_fields(LTPConfig)
 
 
 def _check_axis(path: str) -> None:
-    if path in _BUDGET_AXES:
+    if path in _BUDGET_AXES or path == _POLICY_AXIS:
         return
     prefix, _, name = path.partition(".")
     if prefix == "core" and name in _CORE_FIELDS:
@@ -61,7 +65,7 @@ def _check_axis(path: str) -> None:
         return
     raise ValueError(
         f"unknown sweep axis {path!r}: use 'core.<field>', 'ltp.<field>', "
-        f"'warmup' or 'measure'")
+        f"'policy', 'warmup' or 'measure'")
 
 
 def shard_of(key: str, count: int) -> int:
@@ -101,6 +105,9 @@ class SweepSpec:
     ltp: LTPConfig = field(default_factory=LTPConfig)
     warmup: Optional[int] = None    # None = SimConfig default
     measure: Optional[int] = None
+    #: base allocation policy; the ``"policy"`` axis overrides it per
+    #: point (the default keeps pre-policy sweep ids stable)
+    policy: str = DEFAULT_POLICY
     #: dotted parameter path -> values; expansion is the cross product
     #: in insertion order, workloads outermost
     axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
@@ -126,10 +133,13 @@ class SweepSpec:
                 core_overrides: Dict[str, Any] = {}
                 ltp_overrides: Dict[str, Any] = {}
                 budgets: Dict[str, Any] = {}
+                policy = self.policy
                 for path, value in zip(axis_paths, combo):
                     prefix, _, name = path.partition(".")
                     if path in _BUDGET_AXES:
                         budgets[path] = value
+                    elif path == _POLICY_AXIS:
+                        policy = str(value)
                     elif prefix == "core":
                         core_overrides[name] = value
                     else:
@@ -139,7 +149,8 @@ class SweepSpec:
                     core=(self.core.but(**core_overrides)
                           if core_overrides else self.core),
                     ltp=(self.ltp.but(**ltp_overrides)
-                         if ltp_overrides else self.ltp))
+                         if ltp_overrides else self.ltp),
+                    policy=policy)
                 if self.warmup is not None:
                     config.warmup = self.warmup
                 if self.measure is not None:
@@ -188,7 +199,7 @@ class SweepSpec:
     # (de)serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "workloads": list(self.workloads),
             "core": asdict(self.core),
             "ltp": asdict(self.ltp),
@@ -197,6 +208,11 @@ class SweepSpec:
             "axes": {path: list(values)
                      for path, values in self.axes.items()},
         }
+        if self.policy != DEFAULT_POLICY:
+            # sweep-id stability: default-policy specs serialize exactly
+            # as pre-policy ones did
+            payload["policy"] = self.policy
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
@@ -210,6 +226,7 @@ class SweepSpec:
         ltp_data = payload.pop("ltp", None)
         warmup = payload.pop("warmup", None)
         measure = payload.pop("measure", None)
+        policy = payload.pop("policy", DEFAULT_POLICY)
         axes = payload.pop("axes", {}) or {}
         if payload:
             raise ValueError(f"unknown sweep fields: {sorted(payload)}")
@@ -221,5 +238,6 @@ class SweepSpec:
                  else LTPConfig()),
             warmup=None if warmup is None else int(warmup),
             measure=None if measure is None else int(measure),
+            policy=str(policy),
             axes={path: list(values) for path, values in axes.items()})
         return spec.validate()

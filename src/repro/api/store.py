@@ -263,6 +263,16 @@ def merge_stores(destination: PathLike, sources: Sequence[PathLike],
     return merged
 
 
+def _aggregate(rows: List[SimResult]) -> Dict[str, Any]:
+    return {
+        "points": len(rows),
+        "mean_cpi": arithmetic_mean([r.cpi for r in rows]),
+        "geomean_ipc": geometric_mean([r.ipc for r in rows]),
+        "mean_cycles": arithmetic_mean(
+            [float(r.stats["cycles"]) for r in rows]),
+    }
+
+
 def summarize(results: Iterable[SimResult]) -> Dict[str, Any]:
     """Aggregate results into the per-workload summary the CLI prints.
 
@@ -270,24 +280,25 @@ def summarize(results: Iterable[SimResult]) -> Dict[str, Any]:
     "mean_cpi", "geomean_ipc", "mean_cycles"}}}`` — the means come from
     :mod:`repro.analysis.aggregate`, and
     :func:`repro.harness.report.render_sweep_summary` turns the payload
-    into a table.
+    into a table.  When the results span more than one allocation
+    policy (a ``policy-compare`` style sweep) a ``"policies"`` section
+    with the same per-group aggregates is included, so policy sweeps
+    render a policy breakdown without any special-casing upstream.
     """
     by_workload: Dict[str, List[SimResult]] = {}
+    by_policy: Dict[str, List[SimResult]] = {}
     total = simulated = 0
     for result in results:
         total += 1
         if not result.cached:
             simulated += 1
         by_workload.setdefault(result.config.workload, []).append(result)
-    workloads = {
-        name: {
-            "points": len(rows),
-            "mean_cpi": arithmetic_mean([r.cpi for r in rows]),
-            "geomean_ipc": geometric_mean([r.ipc for r in rows]),
-            "mean_cycles": arithmetic_mean(
-                [float(r.stats["cycles"]) for r in rows]),
-        }
-        for name, rows in sorted(by_workload.items())
-    }
-    return {"points": total, "simulated": simulated,
-            "workloads": workloads}
+        by_policy.setdefault(result.config.policy, []).append(result)
+    workloads = {name: _aggregate(rows)
+                 for name, rows in sorted(by_workload.items())}
+    summary: Dict[str, Any] = {"points": total, "simulated": simulated,
+                               "workloads": workloads}
+    if len(by_policy) > 1:
+        summary["policies"] = {name: _aggregate(rows)
+                               for name, rows in sorted(by_policy.items())}
+    return summary

@@ -9,11 +9,17 @@ Commands:
 * ``classify WORKLOAD`` — print the oracle classification of each
   static instruction (the Figure 2 view, for any kernel).
 * ``experiment NAME`` — regenerate one of the paper's tables/figures
-  (``--json`` for the raw result document).
+  (``--json`` for the raw result document; ``--list`` enumerates the
+  registered experiments).
 * ``sweep SPEC`` — run a declarative sweep (a ``SweepSpec`` JSON file
-  or a named preset) with optional key-stable sharding
-  (``--shard i/k``), a durable result store (``--store``), resume
-  (``--resume``) and store merging (``--merge``).
+  or a named preset; ``--list-presets`` enumerates the presets) with
+  optional key-stable sharding (``--shard i/k``), a durable result
+  store (``--store``), resume (``--resume``) and store merging
+  (``--merge``).
+
+``run``/sweep specs select an allocation policy (``--policy`` /
+``SimConfig.policy`` / a ``"policy"`` sweep axis) from the
+:mod:`repro.policies` registry.
 
 Everything routes through :mod:`repro.api`: the LTP presets come from
 the shared registry in :mod:`repro.ltp.config`, experiments resolve via
@@ -37,12 +43,14 @@ from repro.api import (ResultStore, SweepSpec, backend_for_jobs,
 from repro.core.params import baseline_params, ltp_params
 from repro.harness.config import SimConfig
 from repro.harness.experiments import (resolve_sweep_spec,
+                                       sweep_preset_descriptions,
                                        sweep_preset_names)
 from repro.harness.report import (render_json, render_sweep_summary,
                                   render_table)
 from repro.harness.runner import run_sim_result
 from repro.ltp.config import LTP_PRESETS
 from repro.ltp.oracle import annotate_trace
+from repro.policies import DEFAULT_POLICY, policy_names
 from repro.workloads import full_suite, get_workload
 
 #: legacy alias — the presets live in :data:`repro.ltp.config.LTP_PRESETS`
@@ -64,6 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="baseline = IQ64/RF128; small = IQ32/RF96")
     run_p.add_argument("--ltp", choices=ltp_preset_names(),
                        default="none")
+    run_p.add_argument("--policy", choices=policy_names(),
+                       default=DEFAULT_POLICY,
+                       help="allocation policy (default: the LTP "
+                            "controller path; see repro.policies)")
     run_p.add_argument("--iq", type=int, default=None,
                        help="override IQ size")
     run_p.add_argument("--rf", type=int, default=None,
@@ -81,7 +93,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp_p = sub.add_parser("experiment",
                            help="regenerate a paper table/figure")
-    exp_p.add_argument("name", choices=experiment_names())
+    exp_p.add_argument("name", nargs="?", choices=experiment_names(),
+                       help="experiment to run (see --list)")
+    exp_p.add_argument("--list", action="store_true",
+                       help="list the registered experiments and exit")
     exp_p.add_argument("--jobs", "-j", type=int, default=1,
                        help="worker processes for the sweep (default 1; "
                             "0 = one per CPU)")
@@ -94,6 +109,9 @@ def build_parser() -> argparse.ArgumentParser:
         "spec", nargs="?", default=None,
         help="SweepSpec JSON file, or a preset name "
              f"({', '.join(sweep_preset_names())})")
+    sweep_p.add_argument("--list-presets", action="store_true",
+                         help="list the registered sweep presets and "
+                              "exit")
     sweep_p.add_argument("--shard", type=parse_shard, default=None,
                          metavar="I/K",
                          help="run only the I-th of K key-stable "
@@ -133,7 +151,7 @@ def cmd_run(args, out) -> int:
     if args.rf is not None:
         core = core.but(int_regs=args.rf, fp_regs=args.rf)
     config = SimConfig(workload=args.workload, core=core,
-                       ltp=ltp_preset(args.ltp))
+                       ltp=ltp_preset(args.ltp), policy=args.policy)
     if args.warmup is not None:
         config.warmup = args.warmup
     if args.measure is not None:
@@ -157,7 +175,8 @@ def cmd_run(args, out) -> int:
     ]
     print(render_table(["metric", "value"], rows, precision=3,
                        title=f"{args.workload} — core={args.core} "
-                             f"ltp={args.ltp}"), file=out)
+                             f"ltp={args.ltp} policy={args.policy}"),
+          file=out)
     return 0
 
 
@@ -202,7 +221,35 @@ def _sweep_document(spec: SweepSpec, results, args) -> dict:
     }
 
 
+def cmd_list_experiments(args, out) -> int:
+    entries = [(name, get_experiment(name).description)
+               for name in experiment_names()]
+    if args.json:
+        print(render_json({"experiments": [
+            {"name": name, "description": description}
+            for name, description in entries]}), file=out)
+        return 0
+    print(render_table(["experiment", "description"], entries,
+                       title="Registered experiments"), file=out)
+    return 0
+
+
+def cmd_list_presets(args, out) -> int:
+    descriptions = sweep_preset_descriptions()
+    if args.json:
+        print(render_json({"presets": [
+            {"name": name, "description": description}
+            for name, description in descriptions.items()]}), file=out)
+        return 0
+    rows = list(descriptions.items())
+    print(render_table(["preset", "description"], rows,
+                       title="Registered sweep presets"), file=out)
+    return 0
+
+
 def cmd_sweep(args, out) -> int:
+    if args.list_presets:
+        return cmd_list_presets(args, out)
     if args.merge is not None:
         if args.store is None:
             print("--merge requires --store DEST", file=out)
@@ -268,6 +315,12 @@ def cmd_sweep(args, out) -> int:
 
 
 def cmd_experiment(args, out) -> int:
+    if args.list:
+        return cmd_list_experiments(args, out)
+    if args.name is None:
+        print("experiment needs a NAME (or --list to enumerate them)",
+              file=out)
+        return 2
     exp = get_experiment(args.name)
     jobs = args.jobs if args.jobs != 0 else None
     result = exp.run(jobs=jobs)

@@ -9,8 +9,12 @@ cycle:
   branch executes, plus a refill penalty (the standard trace-driven
   approximation — no wrong-path instructions exist in a trace),
 * rename with in-order allocation of ROB / IQ / physical registers /
-  LQ / SQ — or LTP parking, which defers the IQ and register (and
-  optionally LQ/SQ) allocations exactly as Figure 5 describes,
+  LQ / SQ — or policy-directed parking, which defers the IQ and
+  register (and optionally LQ/SQ) allocations exactly as Figure 5
+  describes.  *When* resources are claimed is owned by a pluggable
+  :class:`repro.policies.AllocationPolicy` (LTP is the default policy;
+  ``baseline-stall``, ``oracle-park``, ``random-park`` and
+  ``depth-park`` are registered alternatives),
 * oldest-first issue of up to 6 instructions per cycle over FU pools,
   two-phase loads (AGU + cache access) with store-to-load forwarding,
   memory-dependence prediction and violation penalties,
@@ -37,16 +41,22 @@ Performance-sensitive invariants of the main loop (see README.md):
   :class:`Occupancy` accumulators — no per-cycle dict building.
 * The trace is consumed by list index (no iterator protocol / ``next``
   exception handling in the fetch path).
-* Stage order inside :meth:`_tick` (writeback, commit, LTP release,
+* Stage order inside :meth:`_tick` (writeback, commit, parked release,
   rename, issue, fetch) and every statistics update are load-bearing:
   results must stay bit-identical to strict cycle-by-cycle execution.
+* The allocation policy is driven through pre-bound hook attributes
+  (``policy.observe_rename`` / ``policy.may_allocate`` / release and
+  completion hooks); for the default ``ltp`` policy these resolve to
+  the controller's own bound methods, so the seam adds no call
+  overhead and the ``ltp`` / ``baseline-stall`` policies stay
+  bit-identical to the pre-seam monolith.
 """
 
 from __future__ import annotations
 
 import heapq
 from bisect import insort
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.branch import GsharePredictor
 from repro.core.inflight import InFlightInst
@@ -62,6 +72,7 @@ from repro.isa.trace import CODE_BASE, INST_BYTES, DynInst
 from repro.ltp.config import LTPConfig
 from repro.ltp.controller import NO_BOUNDARY, LTPController
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.policies import AllocationPolicy, LTPPolicy, build_policy
 
 __all__ = ["CODE_BASE", "INST_BYTES", "Pipeline", "SimulationDeadlock",
            "simulate"]
@@ -96,16 +107,30 @@ class Pipeline:
                  branch_predictor: Optional[GsharePredictor] = None,
                  warm_code: bool = True,
                  allow_skip: bool = True,
-                 use_predecode: bool = True) -> None:
+                 use_predecode: bool = True,
+                 policy: Union[AllocationPolicy, str, None] = None) -> None:
         self.params = (params or CoreParams()).validate()
         self.ltp_config = (ltp or LTPConfig(enabled=False)).validate()
         self.hierarchy = hierarchy or MemoryHierarchy(self.params.mem)
         self.bpred = branch_predictor or GsharePredictor()
+        dram_latency = self.params.mem.dram_latency
         if controller is not None:
-            self.controller = controller
-        else:
-            self.controller = LTPController(
-                self.ltp_config, self.params.mem.dram_latency)
+            # legacy wiring: adopt the caller's controller as an LTP
+            # policy (structural attributes mirror *this* pipeline's
+            # LTP config, exactly as the pre-seam monolith read them)
+            if policy is not None:
+                raise ValueError("pass either controller= or policy=, "
+                                 "not both")
+            policy = LTPPolicy(self.ltp_config, dram_latency,
+                               controller=controller)
+        elif policy is None:
+            policy = LTPPolicy(self.ltp_config, dram_latency)
+        elif isinstance(policy, str):
+            policy = build_policy(policy, self.ltp_config, dram_latency)
+        self.policy = policy
+        #: the wrapped LTP controller when the policy carries one
+        #: (legacy alias; None for non-LTP policies)
+        self.controller = getattr(policy, "controller", None)
         self.stats = SimStats()
         #: False forces strict cycle-by-cycle execution (used by tests to
         #: verify that idle-span jumping never changes results)
@@ -114,8 +139,7 @@ class Pipeline:
         #: table-lookup path (differential testing of the fast path)
         self.use_predecode = use_predecode
 
-        reserve = (self.ltp_config.release_reserve
-                   if self.ltp_config.enabled else 0)
+        reserve = policy.release_reserve
         self.rob = ROB(self.params.rob_size)
         self.iq = IssueQueue(self.params.iq_size)
         self.regfile = RegisterFile(self.params.int_regs,
@@ -181,9 +205,17 @@ class Pipeline:
         self._rf_free = self.regfile._free
         self._rf_need = 1 + self.regfile.reserve
         self._lsq_need = 1 + self.lsq.reserve
-        self._monitor = self.controller.monitor
+        self._monitor = policy.monitor
         self._monitor_off = self._monitor.mode == "off"
-        self._ltp_entries = self.controller.queue._entries
+        self._monitor_auto = (self.ltp_config.enabled
+                              and self._monitor.mode == "auto")
+        self._ltp_entries = policy.queue._entries
+        self._release_ports = policy.ports
+        # the park-path flags are immutable per run; snapshot them so
+        # the parked-allocation path performs no property calls
+        self._park_loads = policy.park_loads
+        self._park_stores = policy.park_stores
+        self._defer_registers = policy.defer_registers
         self._rf_cap_int = self.regfile._capacity["int"]
         self._rf_cap_fp = self.regfile._capacity["fp"]
 
@@ -282,10 +314,12 @@ class Pipeline:
             candidates.append(self._fetch_stall_until)
         if self._commit_stall_until > now:
             candidates.append(self._commit_stall_until)
-        monitor = self.controller.monitor
-        if (self.ltp_config.enabled and monitor.mode == "auto"
-                and monitor.expiry > now):
-            candidates.append(monitor.expiry)
+        if self._monitor_auto and self._monitor.expiry > now:
+            candidates.append(self._monitor.expiry)
+        if self._ltp_entries:
+            hint = self.policy.next_event_cycle(now)
+            if hint is not None and hint > now:
+                candidates.append(hint)
         if not candidates:
             return None
         return max(now + 1, min(candidates))
@@ -294,7 +328,8 @@ class Pipeline:
         head = self.rob.head()
         raise SimulationDeadlock(
             f"no progress at cycle {now}: rob={len(self.rob)} "
-            f"iq={len(self.iq)} ltp={len(self.controller.queue)} "
+            f"iq={len(self.iq)} policy={self.policy.name!r} "
+            f"parked={len(self.policy.queue)} "
             f"frontend={self._frontend_len()} head={head!r} "
             f"free_int={self.regfile.free('int')} "
             f"free_fp={self.regfile.free('fp')} "
@@ -302,7 +337,7 @@ class Pipeline:
         )
 
     def _accumulate(self, now: int, step: int) -> None:
-        queue = self.controller.queue
+        queue = self.policy.queue
         lsq = self.lsq
         occ = self._occ_rob
         level = len(self._rob_entries)
@@ -420,7 +455,7 @@ class Pipeline:
         rob = self.rob
         rob_entries = self._rob_entries
         rob_capacity = rob.capacity
-        controller = self.controller
+        policy = self.policy
         scoreboard = self._scoreboard
         scoreboard_get = scoreboard.get
         parked_store_pcs = self._parked_store_pcs
@@ -453,7 +488,7 @@ class Pipeline:
                     scoreboard_get(p) if p >= 0 else None
                     for p in src_producers)
 
-            controller.observe_rename(record)
+            policy.observe_rename(record)
             if record.urgent:
                 stats.classified_urgent += 1
             else:
@@ -468,7 +503,7 @@ class Pipeline:
                         memdep_forced = True
                         break
 
-            decision = controller.decide(record, now, memdep_forced)
+            decision = policy.may_allocate(record, now, memdep_forced)
             if decision == "stall":
                 if renamed == 0:
                     stats.stall_ltp_full += 1
@@ -506,33 +541,31 @@ class Pipeline:
         return renamed > 0
 
     def _can_allocate_park(self, record: InFlightInst) -> bool:
-        cfg = self.ltp_config
-        if record.is_load and not cfg.park_loads:
+        if record.is_load and not self._park_loads:
             if not self.lsq.can_allocate_load():
                 return False
-        if record.is_store and not cfg.park_stores:
+        if record.is_store and not self._park_stores:
             if not self.lsq.can_allocate_store():
                 return False
-        if not cfg.defer_registers and record.rf_class is not None:
+        if not self._defer_registers and record.rf_class is not None:
             # WIB-style buffer: registers are taken at rename as usual
             if not self.regfile.can_allocate(record.rf_class):
                 return False
         return True
 
     def _allocate_park(self, record: InFlightInst, now: int) -> None:
-        cfg = self.ltp_config
         dyn = record.dyn
-        if record.is_load and not cfg.park_loads:
+        if record.is_load and not self._park_loads:
             self.lsq.allocate_load()
             record.lq_allocated = True
-        if record.is_store and not cfg.park_stores:
+        if record.is_store and not self._park_stores:
             self.lsq.allocate_store(dyn.seq, dyn.pc)
             record.sq_allocated = True
-        if not cfg.defer_registers and record.rf_class is not None:
+        if not self._defer_registers and record.rf_class is not None:
             self.regfile.allocate(record.rf_class)
             record.rf_allocated = True
         self.rob.push(record)
-        self.controller.park(record)
+        self.policy.park(record)
         self.stats.ltp_parked += 1
         self.stats.ltp_writes += 1
         if record.is_store:
@@ -611,16 +644,16 @@ class Pipeline:
             del self._ll_seqs[index]
 
     def _ltp_release(self, now: int) -> Tuple[int, bool]:
-        controller = self.controller
-        if not len(controller.queue):
+        policy = self.policy
+        if not len(policy.queue):
             return 0, False
-        ports = self.ltp_config.ports
+        ports = self._release_ports
         boundary = self._boundary_seq()
         head = self.rob.head()
         force_seq = head.seq if head is not None and head.parked else -1
         released = 0
         while released < ports:
-            candidates = controller.release_candidates(
+            candidates = policy.on_release_scan(
                 now, boundary, force_seq, 1)
             if not candidates:
                 break
@@ -632,7 +665,7 @@ class Pipeline:
                 self.stats.ltp_forced_releases += 1
         pending = False
         if released >= ports:
-            pending = bool(controller.release_candidates(
+            pending = bool(policy.on_release_scan(
                 now, boundary, force_seq, 1))
         return released, pending
 
@@ -651,7 +684,7 @@ class Pipeline:
             if not self.lsq.can_allocate_store(honor_reserve=False):
                 return False
 
-        self.controller.release(record)
+        self.policy.release(record)
         if record.rf_class is not None and not record.rf_allocated:
             self.regfile.allocate(record.rf_class, honor_reserve=False)
             record.rf_allocated = True
@@ -824,7 +857,7 @@ class Pipeline:
             self.stats.long_latency_loads += 1
             self._ll_add(record)
         if result.level == "dram":
-            self.controller.on_dram_demand_access(now)
+            self.policy.on_dram_demand_access(now)
         self._schedule_completion(record, result.complete_cycle)
         self._schedule_tag(record,
                            min(result.tag_known_cycle, result.complete_cycle))
@@ -857,7 +890,7 @@ class Pipeline:
                     self._commit_stall_until,
                     now + self.params.violation_penalty)
                 self.memdep.train_violation(load.dyn.pc, store.dyn.pc)
-                self.controller.on_violation(load.dyn.pc, store.dyn.pc)
+                self.policy.on_violation(load.dyn.pc, store.dyn.pc)
 
     def _schedule_completion(self, record: InFlightInst, cycle: int) -> None:
         record.completion_cycle = cycle
@@ -875,14 +908,14 @@ class Pipeline:
         width = self.params.writeback_width
         completed = 0
         progress = False
-        controller_tag = self.controller.on_tag_known
+        policy_tag = self.policy.on_tag_known
         complete = self._complete
         while events and events[0][0] <= now:
             if events[0][2] == _EV_COMPLETE and completed >= width:
                 break
             _, _, kind, record = _heappop(events)
             if kind == _EV_TAG:
-                controller_tag(record)
+                policy_tag(record)
                 progress = True
                 continue
             completed += 1
@@ -904,9 +937,9 @@ class Pipeline:
         self._ll_remove(record)
         if record.own_ticket is not None:
             # safety net: clear tickets no later than completion
-            self.controller.on_tag_known(record)
+            self.policy.on_tag_known(record)
         if record.is_load:
-            self.controller.on_load_complete(record, record.actual_ll)
+            self.policy.on_load_complete(record, record.actual_ll)
         if record.seq == self._fetch_blocked_on:
             self._fetch_blocked_on = None
             self._fetch_stall_until = now + self.params.mispredict_penalty
@@ -923,7 +956,7 @@ class Pipeline:
         committed = 0
         width = self.params.commit_width
         stats = self.stats
-        controller_commit = self.controller.on_commit
+        policy_commit = self.policy.on_commit
         regfile_release = self.regfile.release
         lsq = self.lsq
         pop = rob_entries.popleft
@@ -944,7 +977,7 @@ class Pipeline:
                 stats.committed_stores += 1
             elif dyn.is_branch:
                 stats.committed_branches += 1
-            controller_commit(head)
+            policy_commit(head)
             committed += 1
             stats.committed += 1
             if not rob_entries:
@@ -960,12 +993,7 @@ class Pipeline:
     # ==================================================================
     def _export_activity(self) -> None:
         stats = self.stats
-        classifier = self.controller.classifier
-        uit = getattr(classifier, "uit", None)
-        if uit is not None:
-            stats.uit_lookups = uit.lookups
-            stats.uit_inserts = uit.inserts
-        stats.ltp_park_stalls = self.controller.park_stalls
+        self.policy.stats_extra(stats)
         stats.extra["avg_outstanding"] = self.hierarchy.average_outstanding(
             self.cycle)
         stats.extra["avg_load_latency"] = (

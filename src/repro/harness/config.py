@@ -20,6 +20,7 @@ from typing import Any, Dict, Mapping
 from repro.core.params import CoreParams
 from repro.ltp.config import LTPConfig
 from repro.memory.hierarchy import MemParams
+from repro.policies.registry import DEFAULT_POLICY, check_policy_name
 
 #: default instruction budgets; the paper warms for 250 M and measures
 #: 10 M per SimPoint on gem5 — a pure-Python cycle model is ~4 orders of
@@ -65,17 +66,22 @@ class SimConfig:
     ltp: LTPConfig = field(default_factory=LTPConfig)
     warmup: int = DEFAULT_WARMUP
     measure: int = DEFAULT_MEASURE
+    #: allocation policy name (:mod:`repro.policies`); the default
+    #: ("ltp") is the historical controller path and is omitted from
+    #: payloads, so pre-policy configs keep their cache keys
+    policy: str = DEFAULT_POLICY
 
     def validate(self) -> "SimConfig":
         self.core.validate()
         self.ltp.validate()
+        check_policy_name(self.policy)
         if self.warmup < 0 or self.measure <= 0:
             raise ValueError("warmup must be >= 0, measure > 0")
         return self
 
     def to_dict(self) -> Dict[str, Any]:
         """Declarative payload; also the input of :meth:`key`."""
-        return {
+        payload = {
             "workload": self.workload,
             "core": asdict(self.core),
             "ltp": asdict(self.ltp),
@@ -83,6 +89,11 @@ class SimConfig:
             "measure": self.measure,
             "schema": CONFIG_SCHEMA,
         }
+        if self.policy != DEFAULT_POLICY:
+            # key stability: default-policy payloads are byte-identical
+            # to pre-policy ones, so stored results keep resolving
+            payload["policy"] = self.policy
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SimConfig":
@@ -102,6 +113,7 @@ class SimConfig:
         ltp_data = payload.pop("ltp", None)
         warmup = payload.pop("warmup", DEFAULT_WARMUP)
         measure = payload.pop("measure", DEFAULT_MEASURE)
+        policy = payload.pop("policy", DEFAULT_POLICY)
         if payload:
             raise ValueError(
                 f"unknown config fields: {sorted(payload)}")
@@ -111,7 +123,8 @@ class SimConfig:
                   else CoreParams()),
             ltp=(ltp_from_dict(ltp_data) if ltp_data is not None
                  else LTPConfig()),
-            warmup=int(warmup), measure=int(measure))
+            warmup=int(warmup), measure=int(measure),
+            policy=str(policy))
         return config.validate()
 
     def key(self) -> str:

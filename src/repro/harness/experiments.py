@@ -38,6 +38,8 @@ from repro.harness.report import render_table, size_label
 from repro.harness.runner import run_sim, run_sims
 from repro.ltp.config import LTPConfig, limit_ltp, no_ltp, proposed_ltp
 from repro.ltp.oracle import annotate_trace
+from repro.policies import DEFAULT_POLICY, policy_names
+from repro.util import first_doc_line
 from repro.workloads import (MLP_INSENSITIVE, MLP_SENSITIVE, get_workload,
                              mlp_insensitive_suite, mlp_sensitive_suite)
 
@@ -84,8 +86,10 @@ _plan_sink: Optional[List[SimConfig]] = None
 
 
 def _run(workload: str, core: CoreParams, ltp: LTPConfig,
-         warmup: Optional[int], measure: Optional[int]) -> dict:
-    config = SimConfig(workload=workload, core=core, ltp=ltp)
+         warmup: Optional[int], measure: Optional[int],
+         policy: str = DEFAULT_POLICY) -> dict:
+    config = SimConfig(workload=workload, core=core, ltp=ltp,
+                       policy=policy)
     if warmup is not None:
         config.warmup = warmup
     if measure is not None:
@@ -843,6 +847,65 @@ def render_headline(result: dict) -> str:
 
 
 # ======================================================================
+# Allocation-policy comparison (the repro.policies scenario space)
+# ======================================================================
+@experiment("policies")
+def policy_comparison(warmup: Optional[int] = None,
+                      measure: Optional[int] = None,
+                      policies: Optional[Sequence[str]] = None) -> dict:
+    """Compare every registered allocation policy on the small core.
+
+    The scenario space the policy seam opens: per suite, mean relative
+    performance of each :mod:`repro.policies` policy (on the IQ32/RF96
+    core with the proposed LTP structure sizes) against the IQ64/RF128
+    no-LTP baseline, alongside how much each policy parks.  Criticality-
+    aware policies (``ltp``, ``oracle-park``) should recover the big
+    core's performance; the criticality-blind strawmen (``random-park``)
+    should not — the paper's central claim, now one sweep axis.
+    """
+    chosen = list(policies) if policies is not None else policy_names()
+    base_core = baseline_params()
+    small_core = ltp_params()
+    ltp = proposed_ltp()
+    out: Dict[str, dict] = {}
+    for category in (MLP_SENSITIVE, MLP_INSENSITIVE):
+        names = _suite_names(category)
+        base_cycles = {
+            n: int(_run(n, base_core, no_ltp(), warmup, measure)["cycles"])
+            for n in names}
+        per_policy: Dict[str, dict] = {}
+        for policy in chosen:
+            perfs, parked = [], []
+            for name in names:
+                result = _run(name, small_core, ltp, warmup, measure,
+                              policy=policy)
+                perfs.append(base_cycles[name] / int(result["cycles"]))
+                committed = max(1, int(result["committed"]))
+                parked.append(result["ltp_parked"] / committed)
+            per_policy[policy] = {
+                "perf_pct": (geometric_mean(perfs) - 1.0) * 100.0,
+                "parked_frac": arithmetic_mean(parked),
+            }
+        out[category] = per_policy
+    return {"policies": chosen, "by_category": out}
+
+
+@renderer("policies")
+def render_policy_comparison(result: dict) -> str:
+    rows = []
+    for category, per_policy in result["by_category"].items():
+        for policy in result["policies"]:
+            data = per_policy[policy]
+            rows.append([GROUP_LABELS.get(category, category), policy,
+                         data["perf_pct"], 100.0 * data["parked_frac"]])
+    return render_table(
+        ["suite", "policy", "perf vs base (%)", "parked (%)"],
+        rows, precision=1,
+        title="Allocation policies on IQ:32 RF:96, "
+              "perf vs IQ:64 RF:128 no-LTP baseline")
+
+
+# ======================================================================
 # named sweep presets (``repro sweep NAME`` / scripts/ci_sweep.py)
 # ======================================================================
 def ltp_queue_sweep(workloads: Optional[Sequence[str]] = None,
@@ -867,11 +930,42 @@ def ltp_queue_sweep(workloads: Optional[Sequence[str]] = None,
               "ltp.enabled": [False, True]})
 
 
+def policy_compare_sweep(workloads: Optional[Sequence[str]] = None,
+                         warmup: Optional[int] = None,
+                         measure: Optional[int] = None,
+                         policies: Optional[Sequence[str]] = None,
+                         ) -> SweepSpec:
+    """Every allocation policy x the full kernel suite.
+
+    The sweep the policy seam exists for: one ``policy`` axis puts the
+    paper's LTP, the stalling baseline and the scenario policies
+    (oracle / random / depth parking) on identical cores and budgets,
+    shardable and resumable like any other sweep.
+    """
+    names = (list(workloads) if workloads is not None
+             else [w.name for w in (mlp_sensitive_suite()
+                                    + mlp_insensitive_suite())])
+    return SweepSpec(
+        workloads=names,
+        core=ltp_params(),
+        ltp=proposed_ltp(),
+        warmup=warmup, measure=measure,
+        axes={"policy": (list(policies) if policies is not None
+                         else policy_names())})
+
+
 #: name -> zero-config SweepSpec factory; ``repro sweep <name>`` and the
 #: CI driver resolve sweeps here when the argument is not a JSON file
 SWEEP_PRESETS: Dict[str, Callable[..., SweepSpec]] = {
     "ltp-queues": ltp_queue_sweep,
+    "policy-compare": policy_compare_sweep,
 }
+
+
+def sweep_preset_descriptions() -> Dict[str, str]:
+    """Name -> one-line description for every registered sweep preset."""
+    return {name: first_doc_line(SWEEP_PRESETS[name].__doc__)
+            for name in sorted(SWEEP_PRESETS)}
 
 
 def sweep_preset(name: str, **kwargs) -> SweepSpec:

@@ -60,20 +60,35 @@ def size_label(size) -> str:
     return "inf" if size is None else str(size)
 
 
+def _render_summary_groups(groups: dict, label: str,
+                           title: Optional[str]) -> str:
+    """One aggregate row per group (``store.summarize`` shape)."""
+    rows = [[name, data["points"], data["mean_cpi"],
+             data["geomean_ipc"], data["mean_cycles"]]
+            for name, data in groups.items()]
+    return render_table(
+        [label, "points", "mean CPI", "geomean IPC", "mean cycles"],
+        rows, precision=3, title=title)
+
+
 def render_sweep_summary(summary: dict, title: Optional[str] = None) -> str:
     """Render a :func:`repro.api.store.summarize` payload as a table.
 
     One row per workload (points, mean CPI, geomean IPC, mean cycles),
-    preceded by the sweep's point/simulated counts.
+    preceded by the sweep's point/simulated counts.  Sweeps spanning
+    more than one allocation policy (``summarize`` adds a
+    ``"policies"`` section for those) get a per-policy breakdown table
+    appended.
     """
-    rows = [[name, data["points"], data["mean_cpi"],
-             data["geomean_ipc"], data["mean_cycles"]]
-            for name, data in summary["workloads"].items()]
-    table = render_table(
-        ["workload", "points", "mean CPI", "geomean IPC", "mean cycles"],
-        rows, precision=3, title=title)
     counts = (f"{summary['points']} points "
               f"({summary['simulated']} simulated, "
               f"{summary['points'] - summary['simulated']} from "
               f"cache/store)")
-    return f"{counts}\n{table}"
+    parts = [counts,
+             _render_summary_groups(summary["workloads"], "workload",
+                                    title)]
+    policies = summary.get("policies")
+    if policies:
+        parts.append(_render_summary_groups(policies, "policy",
+                                            "By allocation policy"))
+    return "\n".join(parts)

@@ -23,14 +23,17 @@ warm-up helpers live here because they carry no state.
 
 Backward-compatible cache access: attribute reads of ``_trace_cache``,
 ``_oracle_cache`` and ``_result_cache`` resolve to the default
-session's objects via module ``__getattr__``; assigning
-``runner._result_cache`` (as cache-isolation test fixtures do) routes
-the shims through the assigned cache.
+session's objects via module ``__getattr__`` **and emit a
+``DeprecationWarning``** (the tier-1 suite escalates it to an error —
+new code must hold a :class:`repro.api.session.Session` instead);
+assigning ``runner._result_cache`` (as cache-isolation test fixtures
+do) routes the shims through the assigned cache.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 import weakref
 from typing import Iterable, List, Optional
 
@@ -64,6 +67,11 @@ _default_result_caches: "weakref.WeakSet" = weakref.WeakSet()
 
 def __getattr__(name: str):
     if name in _SESSION_ATTRS:
+        warnings.warn(
+            f"runner.{name} is deprecated; hold a repro.api.Session "
+            f"(or repro.api.default_session()) and use its "
+            f"{'results' if name == '_result_cache' else name} instead",
+            DeprecationWarning, stacklevel=2)
         from repro.api.session import default_session
         session = default_session()
         if name == "_result_cache":

@@ -1,0 +1,55 @@
+"""repro.policies — pluggable allocation/parking strategies.
+
+The layer between rename and the back-end resources: an
+:class:`AllocationPolicy` decides, per renamed instruction, whether to
+allocate its IQ slot / physical register / LQ-SQ entries now
+("dispatch"), defer them into a parking structure ("park"), or stall
+rename; and decides when parked instructions wake.  The paper's Long
+Term Parking is one registered policy among several — see
+:mod:`repro.policies.base` for the hook surface and
+:mod:`repro.policies.registry` for how names resolve.
+
+Built-in policies:
+
+========================  ============================================
+``ltp``                   the paper's controller (default; equals the
+                          baseline when ``ltp.enabled`` is False)
+``baseline-stall``        rename-time allocation, never parks
+``oracle-park``           perfect (oracle) Non-Urgent classification
+``random-park``           criticality-blind random parking strawman
+``depth-park``            dependence-depth parking, wake-when-ready
+========================  ============================================
+"""
+
+from repro.policies.base import (DISPATCH, PARK, STALL, AllocationPolicy,
+                                 ParkingPolicy)
+from repro.policies.ltp import BaselineStallPolicy, LTPPolicy
+from repro.policies.registry import (DEFAULT_POLICY, PolicyInfo,
+                                     build_policy, check_policy_name,
+                                     policy_descriptions, policy_info,
+                                     policy_names, policy_needs_oracle,
+                                     register_policy)
+from repro.policies.scenarios import (DepthParkPolicy, OracleParkPolicy,
+                                      RandomParkPolicy)
+
+__all__ = [
+    "AllocationPolicy",
+    "BaselineStallPolicy",
+    "DEFAULT_POLICY",
+    "DISPATCH",
+    "DepthParkPolicy",
+    "LTPPolicy",
+    "OracleParkPolicy",
+    "PARK",
+    "ParkingPolicy",
+    "PolicyInfo",
+    "RandomParkPolicy",
+    "STALL",
+    "build_policy",
+    "check_policy_name",
+    "policy_descriptions",
+    "policy_info",
+    "policy_names",
+    "policy_needs_oracle",
+    "register_policy",
+]

@@ -1,0 +1,240 @@
+"""The allocation-policy seam between rename and the back-end resources.
+
+The paper's core observation is that *when* an instruction claims its
+back-end resources (IQ slot, physical register, LQ/SQ entry) is a
+policy choice, not a fixed pipeline property: the baseline allocates
+everything at rename and stalls when anything is full, LTP defers
+allocation for non-critical instructions, and a whole family of other
+strategies (oracle classification, random deferral, readiness-based
+deferral) occupy the same design space.
+
+:class:`AllocationPolicy` is that seam.  The pipeline drives a policy
+through a narrow hook surface and never looks inside it:
+
+* :meth:`~AllocationPolicy.observe_rename` — classify a freshly renamed
+  record (urgency, readiness, long-latency prediction).
+* :meth:`~AllocationPolicy.may_allocate` — ``"dispatch"`` (allocate
+  everything now), ``"park"`` (defer into the policy's queue) or
+  ``"stall"`` (rename can make no progress this cycle).
+* :meth:`~AllocationPolicy.park` / :meth:`~AllocationPolicy.release` —
+  entry/exit of the parking structure (always an
+  :class:`~repro.ltp.queue.LTPQueue`, so occupancy statistics stay
+  O(1) per cycle for every policy).
+* :meth:`~AllocationPolicy.on_release_scan` — the wakeup policy: which
+  parked records may leave this cycle, oldest first.
+* completion/commit hooks (:meth:`~AllocationPolicy.on_tag_known`,
+  :meth:`~AllocationPolicy.on_load_complete`,
+  :meth:`~AllocationPolicy.on_commit`,
+  :meth:`~AllocationPolicy.on_violation`,
+  :meth:`~AllocationPolicy.on_dram_demand_access`) that feed whatever
+  the policy learns from.
+* :meth:`~AllocationPolicy.stats_extra` — policy-owned statistics
+  exported into :class:`~repro.core.stats.SimStats` at the end of a
+  run.
+
+Structural attributes (``queue``, ``monitor``, ``ports``,
+``release_reserve``, ``park_loads``/``park_stores``/
+``defer_registers``) size the shared pipeline machinery; the LTP
+policy mirrors them from its :class:`~repro.ltp.config.LTPConfig`, and
+other parking policies reuse the same config fields (``entries``,
+``ports``, ``release_reserve``) so one sweep axis parameterises every
+policy.
+
+Policies register by name in :mod:`repro.policies.registry`;
+``SimConfig(policy="...")`` selects one end to end through the
+session, sweep and CLI layers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.inflight import InFlightInst
+from repro.ltp.config import LTPConfig
+from repro.ltp.monitor import DramTimerMonitor
+from repro.ltp.queue import LTPQueue
+
+#: the three allocation verdicts :meth:`AllocationPolicy.may_allocate`
+#: may return
+DISPATCH = "dispatch"
+PARK = "park"
+STALL = "stall"
+
+
+class AllocationPolicy:
+    """Base policy: allocate everything at rename, never park.
+
+    Subclasses override the hooks they care about.  The base class is
+    deliberately inert — an empty queue, an always-off monitor, no
+    classification — so a policy only pays for what it uses.
+    """
+
+    #: registry name (set by the ``@register_policy`` decorator)
+    name: str = "?"
+
+    def __init__(self, ltp: LTPConfig, dram_latency: int) -> None:
+        self.ltp_config = ltp
+        #: the parking structure; stays empty for non-parking policies.
+        #: Always an LTPQueue so the pipeline's occupancy integration
+        #: and ``_ltp_entries`` fast-path gate work unchanged.
+        self.queue = LTPQueue(1, fifo_only=True)
+        #: power-management monitor consulted by the pipeline's idle
+        #: jump; "off" means the policy never gates on it
+        self.monitor = DramTimerMonitor(dram_latency, mode="off")
+        #: rename stalls caused by a full parking structure
+        self.park_stalls = 0
+
+    # -- structural attributes the pipeline sizes itself from ----------
+    @property
+    def release_reserve(self) -> int:
+        """Registers / LSQ entries reserved for parked-release progress."""
+        return 0
+
+    @property
+    def ports(self) -> int:
+        """Releases per cycle out of the parking structure."""
+        return 1
+
+    #: parked memory operations also defer their LQ/SQ allocation
+    park_loads = False
+    park_stores = False
+    #: parked instructions defer their register allocation (False =
+    #: WIB-style: registers taken at rename even when parked)
+    defer_registers = True
+
+    # -- rename-time hooks ---------------------------------------------
+    def observe_rename(self, record: InFlightInst) -> None:
+        """Classify *record* (urgency/readiness); base: leave defaults."""
+
+    def may_allocate(self, record: InFlightInst, now: int,
+                     memdep_forced: bool = False) -> str:
+        """Decide *record*'s fate at rename; base: always dispatch."""
+        return DISPATCH
+
+    def park(self, record: InFlightInst) -> None:
+        """Accept *record* into the parking structure."""
+        self.queue.push(record)
+
+    # -- wakeup ---------------------------------------------------------
+    def on_release_scan(self, now: int, boundary_seq: int, force_seq: int,
+                        limit: int) -> List[InFlightInst]:
+        """Parked records eligible to leave this cycle, oldest first.
+
+        *boundary_seq* is the second-oldest in-flight long-latency
+        instruction's sequence number, *force_seq* the ROB head's when
+        the head is parked (the deadlock-avoidance rule every parking
+        policy must honour).
+        """
+        return []
+
+    def release(self, record: InFlightInst) -> None:
+        """*record* leaves the parking structure (resources granted)."""
+        self.queue.remove(record)
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """The next cycle at which a parked record may become eligible
+        for reasons invisible to the pipeline's event heap (e.g. a
+        time-based release rule), or ``None``.  The idle jump consults
+        this so skipping cycles never changes results."""
+        return None
+
+    # -- execution / retirement hooks ------------------------------------
+    def on_tag_known(self, record: InFlightInst) -> None:
+        """A long-latency operation signalled early data return."""
+
+    def on_load_complete(self, record: InFlightInst,
+                         was_long_latency: bool) -> None:
+        """A load finished; *was_long_latency* is the ground truth."""
+
+    def on_commit(self, record: InFlightInst) -> None:
+        """*record* retired."""
+
+    def on_violation(self, load_pc: int, store_pc: int) -> None:
+        """A memory-order violation was detected."""
+
+    def on_dram_demand_access(self, now: int) -> None:
+        """A demand access missed in the L3."""
+
+    # -- warmup / wrap-up ------------------------------------------------
+    def warm_from_trace(self, warmup_slice: Sequence,
+                        long_latency_flags: Optional[Sequence]) -> None:
+        """Pre-train online structures from the warmup slice."""
+
+    def stats_extra(self, stats) -> None:
+        """Export policy-owned statistics into *stats* at run end."""
+        stats.ltp_park_stalls = self.park_stalls
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ParkingPolicy(AllocationPolicy):
+    """Shared machinery for policies that actually park.
+
+    Implements the two invariants every sound parking policy needs:
+
+    * **parked-bit propagation** — a consumer of a parked instruction
+      is force-parked too, so nothing in the issue queue can wait on a
+      parked producer (the deadlock LTP's Section 5.3 closes), and
+    * **forced head release** — the ROB head is always eligible to
+      leave, guaranteeing forward progress.
+
+    Subclasses supply :meth:`wants_park` (who parks) and
+    :meth:`may_release` (who wakes).  The parking structure is sized by
+    the run's :class:`~repro.ltp.config.LTPConfig` (``entries``,
+    ``ports``, ``release_reserve``), so the same sweep axes tune every
+    parking policy.
+    """
+
+    def __init__(self, ltp: LTPConfig, dram_latency: int) -> None:
+        super().__init__(ltp, dram_latency)
+        self.queue = LTPQueue(ltp.entries, fifo_only=False)
+
+    @property
+    def release_reserve(self) -> int:
+        return self.ltp_config.release_reserve
+
+    @property
+    def ports(self) -> int:
+        return self.ltp_config.ports
+
+    def wants_park(self, record: InFlightInst, now: int) -> bool:
+        """Does the policy choose to park *record*? (no forcing here)"""
+        raise NotImplementedError
+
+    def may_release(self, record: InFlightInst, now: int,
+                    boundary_seq: int) -> bool:
+        """Is the parked *record* eligible to wake this cycle?"""
+        raise NotImplementedError
+
+    def may_allocate(self, record: InFlightInst, now: int,
+                     memdep_forced: bool = False) -> str:
+        forced = memdep_forced
+        reason = "memdep" if memdep_forced else None
+        if not forced:
+            for producer in record.producer_records:
+                if producer is not None and producer.parked:
+                    forced = True
+                    reason = "parked-bit"
+                    break
+        if not forced and not self.wants_park(record, now):
+            return DISPATCH
+        if self.queue.full:
+            self.park_stalls += 1
+            return STALL
+        record.park_reason = reason or self.name
+        return PARK
+
+    def on_release_scan(self, now: int, boundary_seq: int, force_seq: int,
+                        limit: int) -> List[InFlightInst]:
+        if not len(self.queue):
+            return []
+        may_release = self.may_release
+
+        def eligible(record: InFlightInst) -> bool:
+            if record.seq == force_seq:
+                record.forced_release = True
+                return True
+            return may_release(record, now, boundary_seq)
+
+        return self.queue.candidates(eligible, limit)

@@ -1,0 +1,24 @@
+"""Small dependency-free helpers shared across layers.
+
+This module imports nothing from :mod:`repro`, so any layer (policies,
+api, harness, cli) can use it at module scope without creating import
+cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["first_doc_line"]
+
+
+def first_doc_line(doc: Optional[str]) -> str:
+    """First non-empty line of a docstring; ``""`` when absent/blank.
+
+    The one implementation behind every registry's default-description
+    extraction (allocation policies, experiments, sweep presets).
+    """
+    if not doc:
+        return ""
+    stripped = doc.strip()
+    return stripped.splitlines()[0] if stripped else ""

@@ -127,9 +127,15 @@ def test_run_sim_shim_matches_session_run():
 
 def test_runner_module_attributes_are_session_state():
     session = default_session()
-    assert runner_mod._trace_cache is session._trace_cache
-    assert runner_mod._oracle_cache is session._oracle_cache
-    assert runner_mod._result_cache is session.results
+    # the legacy attributes still resolve, but deprecated: each read
+    # must say so (the suite-wide filter turns unguarded ones into
+    # errors)
+    with pytest.warns(DeprecationWarning, match="runner._trace_cache"):
+        assert runner_mod._trace_cache is session._trace_cache
+    with pytest.warns(DeprecationWarning, match="runner._oracle_cache"):
+        assert runner_mod._oracle_cache is session._oracle_cache
+    with pytest.warns(DeprecationWarning, match="repro.api"):
+        assert runner_mod._result_cache is session.results
 
 
 def test_run_sim_shim_honours_monkeypatched_get_workload(monkeypatch):
@@ -161,9 +167,10 @@ def test_run_sim_shim_honours_monkeypatched_get_workload(monkeypatch):
 
 
 def test_runner_shim_honours_result_cache_override(tmp_path, monkeypatch):
+    from conftest import override_legacy_result_cache
     from repro.harness.cachefile import ResultCache
     override = ResultCache(str(tmp_path / "override"))
-    monkeypatch.setattr(runner_mod, "_result_cache", override)
+    override_legacy_result_cache(monkeypatch, override)
     config = quick_config()
     runner_mod.run_sim(config)
     assert override.lookup(config.key()) is not None
@@ -175,12 +182,13 @@ def test_shims_track_default_session_after_override_cycle(tmp_path):
     the module globals; that must not pin the shims to it — a later
     set_default_session still redirects run_sim."""
     import pytest
+    from conftest import override_legacy_result_cache
     from repro.api import set_default_session
     from repro.harness.cachefile import ResultCache
 
     monkeypatch = pytest.MonkeyPatch()
     override = ResultCache(str(tmp_path / "override"))
-    monkeypatch.setattr(runner_mod, "_result_cache", override)
+    override_legacy_result_cache(monkeypatch, override)
     monkeypatch.undo()  # leaves the old default cache as a real global
 
     replacement = Session(cache_dir=str(tmp_path / "fresh"))

@@ -91,6 +91,49 @@ def test_parser_rejects_unknown_experiment():
         build_parser().parse_args(["experiment", "fig99"])
 
 
+# ----------------------------------------------------- discoverability
+def test_experiment_list_names_and_descriptions():
+    code, text = run_cli(["experiment", "--list"])
+    assert code == 0
+    for name in ("fig6", "headline", "policies", "table1"):
+        assert name in text
+    # one-line descriptions ride along
+    assert "limit study" in text
+
+
+def test_experiment_list_json():
+    code, text = run_cli(["experiment", "--list", "--json"])
+    assert code == 0
+    payload = json.loads(text)
+    names = [entry["name"] for entry in payload["experiments"]]
+    assert "fig6" in names and "policies" in names
+    assert all(entry["description"] for entry in payload["experiments"])
+
+
+def test_experiment_without_name_or_list_errors():
+    code, text = run_cli(["experiment"])
+    assert code == 2
+    assert "--list" in text
+
+
+def test_sweep_list_presets():
+    code, text = run_cli(["sweep", "--list-presets"])
+    assert code == 0
+    assert "ltp-queues" in text
+    assert "policy-compare" in text
+    assert "allocation policy" in text
+
+
+def test_sweep_list_presets_json():
+    code, text = run_cli(["sweep", "--list-presets", "--json"])
+    assert code == 0
+    payload = json.loads(text)
+    names = [entry["name"] for entry in payload["presets"]]
+    assert names == sorted(names)
+    assert "policy-compare" in names
+    assert all(entry["description"] for entry in payload["presets"])
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

@@ -4,14 +4,17 @@ import json
 
 import pytest
 
+from conftest import override_legacy_result_cache
+
+from repro.api import default_session
 from repro.core.params import baseline_params, ltp_params
 from repro.harness import runner as runner_mod
 from repro.harness.cachefile import ResultCache
 from repro.harness.config import SimConfig
 from repro.harness.experiments import (fig5_lifetimes, plan_configs,
                                        run_parallel)
-from repro.harness.runner import (clear_memory_caches, get_trace, run_sims,
-                                  _trace_cache, _TRACE_CACHE_MAX)
+from repro.harness.runner import (TRACE_CACHE_MAX, clear_memory_caches,
+                                  get_trace, run_sims)
 from repro.ltp.config import limit_ltp, no_ltp
 
 
@@ -32,7 +35,7 @@ def _configs():
 def fresh_cache(tmp_path, monkeypatch):
     """Point the runner at an empty disk cache for the test's duration."""
     cache = ResultCache(str(tmp_path / "simcache"))
-    monkeypatch.setattr(runner_mod, "_result_cache", cache)
+    override_legacy_result_cache(monkeypatch, cache)
     return cache
 
 
@@ -91,13 +94,14 @@ def test_plan_configs_enumerates_without_simulating(fresh_cache):
 
 def test_trace_cache_shares_prefixes_and_is_bounded():
     clear_memory_caches()
+    trace_cache = default_session()._trace_cache
     long_trace = get_trace("compute_int", 600)
     short_trace = get_trace("compute_int", 200)
     # the shorter request is served from the longer trace...
     assert short_trace == long_trace[:200]
     # ...and does NOT retain an extra cached copy per distinct length
-    assert list(_trace_cache) == ["compute_int"]
-    assert len(_trace_cache["compute_int"][1]) == 600
+    assert list(trace_cache) == ["compute_int"]
+    assert len(trace_cache["compute_int"][1]) == 600
     # an exact-length request returns the shared list itself (no copy)
     assert get_trace("compute_int", 600) is long_trace
     # LRU eviction caps the number of retained workloads
@@ -105,7 +109,7 @@ def test_trace_cache_shares_prefixes_and_is_bounded():
              "sparse_gather", "compute_fp", "indirect_fig2"]
     for name in names:
         get_trace(name, 64)
-    assert len(_trace_cache) <= _TRACE_CACHE_MAX
+    assert len(trace_cache) <= TRACE_CACHE_MAX
     clear_memory_caches()
 
 
