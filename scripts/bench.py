@@ -18,6 +18,13 @@ it.  See README.md ("Performance tracking") for how to read the file.
 recorded in the committed ``BENCH_pipeline.json`` (read before it is
 overwritten), and the exit code is nonzero if it regressed by more
 than :data:`CHECK_TOLERANCE`.
+
+``--tune-chunksize`` measures the pool executor's dispatch chunking
+(:class:`repro.api.ProcessPoolBackend`'s ``chunksize``) on the
+``policy-compare`` sweep preset and records the sweep wall times under
+``notes.pool_chunksize`` in the committed ``BENCH_pipeline.json`` —
+the throughput numbers and the ``--check`` gate reference are left
+untouched.
 """
 
 from __future__ import annotations
@@ -79,6 +86,61 @@ def check_regression(document: dict, reference: dict) -> int:
     return 0 if current >= floor else 1
 
 
+#: chunk sizes --tune-chunksize sweeps
+TUNE_CHUNKSIZES = (1, 2, 4, 8)
+
+
+def tune_chunksize(args) -> int:
+    """Measure pool-dispatch chunking on the policy-compare preset.
+
+    Each chunk size runs the whole preset (tiny budgets) through a
+    :class:`repro.api.ProcessPoolBackend` against a scratch cache with
+    caching disabled, so every run simulates every point.  The wall
+    times land under ``notes.pool_chunksize`` of the output document
+    (merged into the existing file; measured throughput numbers are
+    preserved).
+    """
+    import tempfile
+    import time as time_mod
+
+    from repro.api import ProcessPoolBackend, Session
+    from repro.harness.experiments import sweep_preset
+    from repro.harness.runner import default_jobs
+
+    jobs = args.jobs if args.jobs else default_jobs()
+    spec = sweep_preset("policy-compare", warmup=300, measure=600)
+    timings = {}
+    for chunksize in TUNE_CHUNKSIZES:
+        with tempfile.TemporaryDirectory() as scratch, \
+                Session(cache_dir=scratch) as session:
+            backend = ProcessPoolBackend(jobs=jobs, chunksize=chunksize)
+            start = time_mod.perf_counter()
+            results = session.sweep(spec, use_cache=False,
+                                    backend=backend)
+            elapsed = time_mod.perf_counter() - start
+        timings[str(chunksize)] = round(elapsed, 3)
+        print(f"chunksize {chunksize}: {elapsed:.2f}s "
+              f"({len(results)} points, {jobs} workers)")
+    best = min(timings, key=lambda k: timings[k])
+    document = load_reference(args.output)
+    notes = document.setdefault("notes", {})
+    notes["pool_chunksize"] = {
+        "preset": "policy-compare",
+        "warmup": 300, "measure": 600,
+        "jobs": jobs,
+        "cpus": os.cpu_count(),
+        "wall_seconds": timings,
+        "best": int(best),
+        "generated": datetime.now(timezone.utc).isoformat(),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"best chunksize {best} "
+          f"({timings[best]:.2f}s); recorded in {args.output} notes")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark the timing pipeline (simulated insts/sec)")
@@ -102,7 +164,17 @@ def main(argv=None) -> int:
                         help="exit nonzero if the headline speedup "
                              "regressed more than 15%% vs the committed "
                              "BENCH_pipeline.json")
+    parser.add_argument("--tune-chunksize", action="store_true",
+                        help="benchmark pool dispatch chunk sizes on "
+                             "the policy-compare preset and record "
+                             "them under the output's notes")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for --tune-chunksize "
+                             "(default: REPRO_JOBS / CPU count)")
     args = parser.parse_args(argv)
+
+    if args.tune_chunksize:
+        return tune_chunksize(args)
 
     reference = load_reference(args.output) if args.check else {}
 
@@ -127,6 +199,10 @@ def main(argv=None) -> int:
     else:
         output = args.output
         document = harness.attach_baseline(document)
+        # keep --tune-chunksize notes through re-measurements
+        notes = load_reference(output).get("notes")
+        if notes:
+            document["notes"] = notes
 
     with open(output, "w") as fh:
         json.dump(document, fh, indent=2, sort_keys=True)

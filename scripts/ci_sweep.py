@@ -11,6 +11,15 @@ nothing.  From the repo root::
     python scripts/ci_sweep.py merge  --store merged.jsonl stores/*.jsonl
     python scripts/ci_sweep.py verify --store merged.jsonl
     python scripts/ci_sweep.py check-resume --store merged.jsonl
+    python scripts/ci_sweep.py coordinate --shards 4 --jobs 4 \\
+        --store coordinated.jsonl
+    python scripts/ci_sweep.py compare merged.jsonl coordinated.jsonl
+
+``coordinate`` drives every shard from one process (the
+``repro sweep --coordinate`` engine); ``compare`` asserts two stores
+are bit-for-bit interchangeable (same sweep, same keys, identical
+statistics) — CI uses it to prove the coordinated store equals the
+k-invocation shard union.
 
 ``--preset``/``--spec``, ``--warmup`` and ``--measure`` select the
 sweep; every subcommand must be given the same values (the store binds
@@ -30,8 +39,9 @@ for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
     if entry not in sys.path:
         sys.path.insert(0, entry)
 
-from repro.api import (ResultStore, Session, SweepSpec,  # noqa: E402
-                       backend_for_jobs, merge_stores, parse_shard)
+from repro.api import (CoordinatorBackend, ResultStore,  # noqa: E402
+                       Session, SweepSpec, backend_for_jobs,
+                       merge_stores, parse_shard)
 from repro.harness.experiments import resolve_sweep_spec  # noqa: E402
 
 
@@ -63,6 +73,51 @@ def cmd_run(args) -> int:
     label = f"shard {args.shard}" if args.shard else "unsharded"
     print(f"sweep {spec.sweep_id()} {label}: {len(results)} points, "
           f"{simulated} simulated -> {args.store}")
+    return 0
+
+
+def cmd_coordinate(args) -> int:
+    """Run every shard of the sweep from this one process."""
+    spec = build_spec(args)
+    coordinator = CoordinatorBackend(shards=args.shards, jobs=args.jobs,
+                                     chunksize=args.chunksize)
+    with Session() as session, ResultStore(args.store) as store:
+        results = coordinator.run(session, spec, store=store)
+    simulated = sum(1 for r in results if not r.cached)
+    report = coordinator.last_report
+    print(f"sweep {spec.sweep_id()} coordinated over "
+          f"{report['shards']} shard(s) "
+          f"({'/'.join(str(n) for n in report['per_shard'])} points): "
+          f"{len(results)} points, {simulated} simulated -> "
+          f"{args.store}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Two stores must be bit-for-bit interchangeable."""
+    left = ResultStore(args.left)
+    right = ResultStore(args.right)
+    failures = 0
+    if left.sweep_id != right.sweep_id:
+        print(f"SWEEP-ID mismatch: {left.sweep_id!r} vs "
+              f"{right.sweep_id!r}")
+        failures += 1
+    left_rows, right_rows = left.load(), right.load()
+    for key in sorted(set(left_rows) | set(right_rows)):
+        a, b = left_rows.get(key), right_rows.get(key)
+        if a is None or b is None:
+            where = args.right if a is not None else args.left
+            print(f"MISSING {key} in {where}")
+            failures += 1
+        elif a.stats != b.stats:
+            print(f"MISMATCH {key} ({a.config.workload})")
+            failures += 1
+    if failures:
+        print(f"compare FAILED: {failures} difference(s) between "
+              f"{args.left} and {args.right}")
+        return 1
+    print(f"compare OK: {len(left_rows)} points bit-identical "
+          f"across {args.left} and {args.right}")
     return 0
 
 
@@ -132,6 +187,23 @@ def main(argv=None) -> int:
     run_p.add_argument("--store", type=Path, required=True)
     run_p.add_argument("--jobs", "-j", type=int, default=1)
     run_p.set_defaults(func=cmd_run)
+
+    coord_p = sub.add_parser(
+        "coordinate",
+        help="drive every shard from one process into a store")
+    add_spec_options(coord_p)
+    coord_p.add_argument("--shards", type=int, default=4)
+    coord_p.add_argument("--store", type=Path, required=True)
+    coord_p.add_argument("--jobs", "-j", type=int, default=None)
+    coord_p.add_argument("--chunksize", type=int, default=None)
+    coord_p.set_defaults(func=cmd_coordinate)
+
+    compare_p = sub.add_parser(
+        "compare",
+        help="assert two stores are bit-for-bit interchangeable")
+    compare_p.add_argument("left", type=Path)
+    compare_p.add_argument("right", type=Path)
+    compare_p.set_defaults(func=cmd_compare)
 
     merge_p = sub.add_parser("merge", help="merge shard stores")
     merge_p.add_argument("sources", nargs="+", type=Path)

@@ -9,8 +9,15 @@ The API layer is organised around four ideas:
 * Declarative specs — :class:`~repro.harness.config.SimConfig`
   round-trips through dicts, and :class:`SweepSpec` expands axis
   products into validated configuration lists.
-* :class:`ExecutionBackend` — pluggable batch execution
-  (:class:`SerialBackend`, :class:`ProcessPoolBackend` today).
+* :class:`ExecutorBackend` — the futures-based execution layer
+  (:mod:`repro.api.exec`): ``submit(item) -> SimFuture``,
+  ``as_completed()``, lifecycle events, bounded retries, graceful
+  cancellation.  :class:`SerialBackend` / :class:`ProcessPoolBackend`
+  are its in-process and pool executors; :class:`CoordinatorBackend`
+  drives every shard of a sweep from one process
+  (``Session.coordinate`` / ``repro sweep --coordinate``); legacy
+  iterator-style backends are adapted via
+  :class:`LegacyBackendAdapter` (with a ``DeprecationWarning``).
 * :class:`SimResult` — typed results with cache provenance and wall
   time, JSON-ready via ``to_dict()``.
 * :class:`ResultStore` — durable, append-only JSONL stores of sweep
@@ -34,6 +41,11 @@ Quick start::
 
 from repro.api.backends import (ExecutionBackend, ProcessPoolBackend,
                                 SerialBackend, backend_for_jobs)
+from repro.api.exec import (CoordinatorBackend, ExecEvent,
+                            ExecutionCancelled, ExecutorBackend,
+                            LegacyBackendAdapter, PoolExecutor,
+                            SerialExecutor, SimFuture, WorkerFailure,
+                            as_executor)
 from repro.api.registry import (Experiment, experiment, experiment_names,
                                 get_experiment, renderer)
 from repro.api.result import SimResult
@@ -47,16 +59,26 @@ from repro.policies import (DEFAULT_POLICY, AllocationPolicy, build_policy,
 
 __all__ = [
     "AllocationPolicy",
+    "CoordinatorBackend",
     "DEFAULT_POLICY",
+    "ExecEvent",
     "Experiment",
     "ExecutionBackend",
+    "ExecutionCancelled",
+    "ExecutorBackend",
+    "LegacyBackendAdapter",
+    "PoolExecutor",
     "ProcessPoolBackend",
     "ResultStore",
     "SerialBackend",
+    "SerialExecutor",
     "Session",
     "SimConfig",
+    "SimFuture",
     "SimResult",
     "SweepSpec",
+    "WorkerFailure",
+    "as_executor",
     "backend_for_jobs",
     "build_policy",
     "default_session",

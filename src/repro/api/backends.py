@@ -1,43 +1,49 @@
 """Pluggable execution backends for simulation batches.
 
-A backend turns a list of ``(index, SimConfig, use_cache)`` work items
-into ``(index, stats, wall_time_s, source)`` outcomes.  The
-:class:`~repro.api.session.Session` resolves cache hits and deduplicates
-configurations before handing the pending work to its backend, so a
-backend only ever sees configurations that actually need simulating.
+Since the submission redesign, the real machinery lives in
+:mod:`repro.api.exec`: executors expose ``submit(item) -> SimFuture``
+plus ``as_completed()``, lifecycle events, bounded retries and
+graceful cancellation.  This module keeps the historical names as thin
+subclasses and the original :class:`ExecutionBackend` iterator
+protocol (``execute(session, items) -> outcomes``) as the
+compatibility surface:
 
-Two implementations ship today:
+* :class:`SerialBackend` — in-process, submission order
+  (:class:`~repro.api.exec.SerialExecutor`).
+* :class:`ProcessPoolBackend` — ``multiprocessing`` fan-out with a
+  tunable dispatch ``chunksize``
+  (:class:`~repro.api.exec.PoolExecutor`); trace generation is
+  deterministic so each worker regenerates what it needs, and the
+  disk cache's atomic replace-on-write keeps concurrent writers safe.
 
-* :class:`SerialBackend` — runs every item in-process, in order.
-* :class:`ProcessPoolBackend` — fans items over a ``multiprocessing``
-  pool; trace generation is deterministic so each worker regenerates
-  what it needs, and the disk cache's atomic replace-on-write keeps
-  concurrent writers safe.
-
-Future backends (async, remote executors) only need to satisfy
-:class:`ExecutionBackend` and can be selected per
-:class:`~repro.api.session.Session`.
+Both satisfy the legacy protocol through the base class's
+``execute()`` shim, so old call sites keep working; third-party
+iterator-style backends (anything with just ``name`` and
+``execute()``) are driven through
+:class:`~repro.api.exec.LegacyBackendAdapter`, which emits a
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from typing import (TYPE_CHECKING, Any, Dict, Iterator, List, Protocol,
-                    Tuple, runtime_checkable)
+from typing import (TYPE_CHECKING, Iterator, List, Optional, Protocol,
+                    runtime_checkable)
+
+from repro.api.exec import (Outcome, PoolExecutor, SerialExecutor,
+                            WorkItem, _pool_worker)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.session import Session
-    from repro.harness.config import SimConfig
 
-#: a unit of pending work: position in the batch, config, cache policy
-WorkItem = Tuple[int, "SimConfig", bool]
-#: a completed unit: position, stats dict, wall seconds, result source
-Outcome = Tuple[int, Dict[str, Any], float, str]
+__all__ = [
+    "ExecutionBackend", "Outcome", "ProcessPoolBackend", "SerialBackend",
+    "WorkItem", "backend_for_jobs", "_pool_worker",
+]
 
 
 @runtime_checkable
 class ExecutionBackend(Protocol):
-    """Protocol every execution backend satisfies."""
+    """The original iterator-style backend protocol (still honoured)."""
 
     #: short identifier recorded in :class:`repro.api.result.SimResult`
     name: str
@@ -48,97 +54,30 @@ class ExecutionBackend(Protocol):
         ...  # pragma: no cover - protocol
 
 
-class SerialBackend:
+class SerialBackend(SerialExecutor):
     """Run every configuration in-process, in submission order."""
-
-    name = "serial"
-
-    def execute(self, session: "Session",
-                items: List[WorkItem]) -> Iterator[Outcome]:
-        for index, config, use_cache in items:
-            result = session.run(config, use_cache=use_cache)
-            yield index, result.stats, result.wall_time_s, result.source
 
     def __repr__(self) -> str:
         return "SerialBackend()"
 
 
-#: per-process sessions for pool workers driving a non-default cache dir
-_worker_sessions: Dict[str, "Session"] = {}
-
-
-def _pool_worker(item: Tuple[int, "SimConfig", bool, str]) -> Outcome:
-    """Simulate one configuration inside a pool worker.
-
-    Runs against the worker's default session (with ``fork`` this
-    inherits the parent's session state, including any test overrides on
-    :mod:`repro.harness.runner`); when the parent session uses a
-    different cache directory, a per-directory worker session is created
-    so disk-cache writes land where the parent will look for them.
-    """
-    index, config, use_cache, cache_dir = item
-    from repro.harness import runner
-    session = runner._shim_session()
-    if cache_dir and str(session.results.directory) != cache_dir:
-        session = _worker_sessions.get(cache_dir)
-        if session is None:
-            from repro.api.session import Session
-            session = Session(cache_dir=cache_dir)
-            _worker_sessions[cache_dir] = session
-        result = session.run(config, use_cache=use_cache)
-    else:
-        result = runner.run_sim_result(config, use_cache=use_cache)
-    return index, result.stats, result.wall_time_s, result.source
-
-
-class ProcessPoolBackend:
+class ProcessPoolBackend(PoolExecutor):
     """Fan configurations over a ``multiprocessing`` pool.
 
     ``jobs=None`` uses :func:`repro.harness.runner.default_jobs`
-    (``REPRO_JOBS`` env var, else the CPU count).  Batches that would
-    not benefit from a pool (one pending item, or one worker) degrade
-    to in-process execution.
+    (``REPRO_JOBS`` env var, else the CPU count); ``chunksize``
+    controls how many items ride one worker round trip.  Batches that
+    would not benefit from a pool (one pending item, or one worker)
+    degrade to in-process execution.
     """
 
-    name = "process-pool"
-
-    def __init__(self, jobs: int | None = None,
-                 start_method: str | None = None) -> None:
-        self.jobs = jobs
-        self.start_method = start_method
-
-    def _resolved_jobs(self) -> int:
-        if self.jobs is not None:
-            return max(1, self.jobs)
-        from repro.harness.runner import default_jobs
-        return default_jobs()
-
-    def execute(self, session: "Session",
-                items: List[WorkItem]) -> Iterator[Outcome]:
-        if not items:
-            return
-        jobs = self._resolved_jobs()
-        if jobs <= 1 or len(items) == 1:
-            yield from SerialBackend().execute(session, items)
-            return
-        cache_dir = str(session.results.directory)
-        payload = [(index, config, use_cache, cache_dir)
-                   for index, config, use_cache in items]
-        method = self.start_method
-        if method is None:
-            methods = multiprocessing.get_all_start_methods()
-            method = "fork" if "fork" in methods else None
-        ctx = multiprocessing.get_context(method)
-        workers = min(jobs, len(items))
-        with ctx.Pool(processes=workers) as pool:
-            for outcome in pool.imap_unordered(_pool_worker, payload):
-                yield outcome
-
     def __repr__(self) -> str:
-        return f"ProcessPoolBackend(jobs={self.jobs!r})"
+        return (f"ProcessPoolBackend(jobs={self.jobs!r}, "
+                f"chunksize={self.chunksize!r})")
 
 
-def backend_for_jobs(jobs: int | None) -> "ExecutionBackend":
+def backend_for_jobs(jobs: Optional[int],
+                     chunksize: Optional[int] = None) -> "ExecutionBackend":
     """The execution backend a ``--jobs N`` style flag selects.
 
     ``1`` is the plain in-process :class:`SerialBackend`; anything else
@@ -148,4 +87,5 @@ def backend_for_jobs(jobs: int | None) -> "ExecutionBackend":
     """
     if jobs == 1:
         return SerialBackend()
-    return ProcessPoolBackend(jobs=None if jobs == 0 else jobs)
+    return ProcessPoolBackend(jobs=None if jobs == 0 else jobs,
+                              chunksize=chunksize)

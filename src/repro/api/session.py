@@ -29,6 +29,8 @@ from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterable, List,
                     Optional, Tuple)
 
 from repro.api.backends import ExecutionBackend, SerialBackend
+from repro.api.exec import (ExecutionCancelled, ExecutorBackend,
+                            ProgressCallback, as_executor)
 from repro.api.result import (SOURCE_DISK, SOURCE_MEMORY, SOURCE_SIMULATED,
                               SOURCE_STORE, SimResult, cached_result)
 from repro.core.branch import GsharePredictor
@@ -200,10 +202,121 @@ class Session:
         return SimResult(config=config, stats=stats, key=key,
                          source=SOURCE_SIMULATED, wall_time_s=elapsed)
 
+    def _drive(self, backend: Any, config_list: List[SimConfig],
+               submission: Iterable[Tuple[int, Optional[int]]],
+               use_cache: bool = True,
+               store: Optional["ResultStore"] = None,
+               progress: Optional[ProgressCallback] = None,
+               ) -> List[SimResult]:
+        """Resolve cache/store hits and drive the rest as futures.
+
+        *submission* names the batch indices to cover, in submission
+        order, each with an optional coordinator shard tag.  Cached
+        configurations are resolved in-process; each distinct
+        remaining configuration is submitted exactly once (duplicates
+        share the primary's result object, so provenance — one
+        simulation — stays truthful).  Completed outcomes land in the
+        session caches (and *store*, if given) as they arrive, then a
+        failure raises the first :class:`WorkerFailure`, and remaining
+        cancellations raise :class:`ExecutionCancelled` — everything
+        that completed first is preserved, which is what makes a
+        cancelled sweep resumable.
+        """
+        executor = as_executor(backend)
+        executor.bind(self)
+        if progress is not None:
+            executor.add_progress_callback(progress)
+        submission = list(submission)
+        # validate everything before anything is submitted: a bad
+        # config must not leave earlier items queued on the (shared)
+        # executor for an unrelated later batch to execute
+        for index, _ in submission:
+            config_list[index].validate()
+        try:
+            results: Dict[int, SimResult] = {}
+            primary: Dict[str, int] = {}  # key -> index that simulates it
+            duplicates: List[Tuple[int, str]] = []
+            for index, shard_tag in submission:
+                config = config_list[index]
+                key = config.key()
+                stored = store.get(key) if store is not None else None
+                if stored is not None:
+                    results[index] = SimResult(
+                        config=config, stats=stored.stats, key=key,
+                        source=SOURCE_STORE, wall_time_s=0.0,
+                        backend="store")
+                    continue
+                hit = self.results.lookup(key) if use_cache else None
+                if hit is not None:
+                    stats, where = hit
+                    source = (SOURCE_MEMORY if where == "memory"
+                              else SOURCE_DISK)
+                    results[index] = cached_result(config, key, stats,
+                                                   source, backend="cache")
+                    if store is not None:
+                        store.add(results[index])
+                elif key in primary:  # simulate each distinct config once
+                    duplicates.append((index, key))
+                else:
+                    primary[key] = index
+                    executor.submit((index, config, use_cache),
+                                    shard=shard_tag)
+
+            failure: Optional[BaseException] = None
+            cancelled = 0
+            for future in executor.as_completed():
+                if future.cancelled():
+                    cancelled += 1
+                    continue
+                exc = future.exception()
+                if exc is not None:
+                    if failure is None:
+                        failure = exc
+                    continue
+                outcome = future.result()
+                result = SimResult(config=future.config,
+                                   stats=outcome.stats, key=future.key,
+                                   source=outcome.source,
+                                   wall_time_s=outcome.wall_time_s,
+                                   backend=executor.name)
+                results[future.index] = result
+                if use_cache:
+                    # pool workers already wrote the disk cache; keep
+                    # only the in-memory copy here
+                    self.results.put(future.key, result.stats, disk=False)
+                if store is not None:
+                    # persist as each point lands, so an interrupted
+                    # sweep keeps everything it finished
+                    store.add(result)
+
+            for index, key in duplicates:
+                if primary[key] in results:
+                    results[index] = results[primary[key]]
+            if failure is not None:
+                raise failure
+            if cancelled:
+                raise ExecutionCancelled(
+                    f"{cancelled} of {len(config_list)} configurations "
+                    f"cancelled before execution "
+                    f"({len(results)} completed)", completed=results)
+            return [results[index] for index in range(len(config_list))]
+        except BaseException:
+            # never leave submitted futures queued on the (possibly
+            # session-shared) executor: cancel whatever has not run
+            # and drain, so the next batch starts from a clean queue
+            executor.cancel_all()
+            for _ in executor.as_completed():
+                pass
+            raise
+        finally:
+            if progress is not None:
+                executor.remove_progress_callback(progress)
+
     def run_many(self, configs: Iterable[SimConfig],
                  use_cache: bool = True,
                  backend: Optional[ExecutionBackend] = None,
                  store: Optional["ResultStore"] = None,
+                 progress: Optional[ProgressCallback] = None,
                  ) -> List[SimResult]:
         """Run independent configurations through an execution backend.
 
@@ -211,7 +324,10 @@ class Session:
         aggregation regardless of backend scheduling).  Cached
         configurations are resolved in-process; each distinct remaining
         configuration is simulated exactly once and duplicates share the
-        primary's statistics.
+        primary's statistics.  *backend* may be a futures-style
+        :class:`~repro.api.exec.ExecutorBackend` or a legacy
+        iterator-style backend (adapted, with a ``DeprecationWarning``);
+        *progress* receives every :class:`~repro.api.exec.ExecEvent`.
 
         With a :class:`~repro.api.store.ResultStore`, points whose keys
         the store already holds are served from it (``source ==
@@ -219,61 +335,19 @@ class Session:
         appended to the store as it lands — an interrupted batch keeps
         all completed points, so re-running resumes where it stopped.
         """
-        backend = backend or self.backend
         config_list = list(configs)
-        results: Dict[int, SimResult] = {}
-        pending: List[Tuple[int, SimConfig, bool]] = []
-        primary: Dict[str, int] = {}      # key -> index that simulates it
-        duplicates: List[Tuple[int, str]] = []
-        for index, config in enumerate(config_list):
-            config.validate()
-            key = config.key()
-            stored = store.get(key) if store is not None else None
-            if stored is not None:
-                results[index] = SimResult(
-                    config=config, stats=stored.stats, key=key,
-                    source=SOURCE_STORE, wall_time_s=0.0, backend="store")
-                continue
-            hit = self.results.lookup(key) if use_cache else None
-            if hit is not None:
-                stats, where = hit
-                source = SOURCE_MEMORY if where == "memory" else SOURCE_DISK
-                results[index] = cached_result(config, key, stats, source,
-                                               backend="cache")
-                if store is not None:
-                    store.add(results[index])
-            elif key in primary:  # simulate each distinct config once
-                duplicates.append((index, key))
-            else:
-                primary[key] = index
-                pending.append((index, config, use_cache))
-
-        for index, stats, wall, source in backend.execute(self, pending):
-            config = config_list[index]
-            key = config.key()
-            results[index] = SimResult(config=config, stats=stats, key=key,
-                                       source=source, wall_time_s=wall,
-                                       backend=backend.name)
-            if use_cache:
-                # pool workers already wrote the disk cache; keep only
-                # the in-memory copy here
-                self.results.put(key, stats, disk=False)
-            if store is not None:
-                # persist as each point lands, so an interrupted sweep
-                # keeps everything it finished
-                store.add(results[index])
-
-        for index, key in duplicates:
-            # a duplicate IS the primary's outcome: share the result
-            # object so provenance (one simulation) stays truthful
-            results[index] = results[primary[key]]
-
-        return [results[index] for index in range(len(config_list))]
+        return self._drive(backend or self.backend, config_list,
+                           [(index, None)
+                            for index in range(len(config_list))],
+                           use_cache=use_cache, store=store,
+                           progress=progress)
 
     def sweep(self, spec: "SweepSpec", use_cache: bool = True,
               backend: Optional[ExecutionBackend] = None,
               store: Optional["ResultStore"] = None,
-              shard: Optional[Tuple[int, int]] = None) -> List[SimResult]:
+              shard: Optional[Tuple[int, int]] = None,
+              progress: Optional[ProgressCallback] = None,
+              ) -> List[SimResult]:
         """Expand a :class:`~repro.api.spec.SweepSpec` and run it.
 
         ``shard=(index, count)`` restricts execution to the spec's
@@ -296,7 +370,35 @@ class Session:
             # mergeable artifact
             store.bind(spec.sweep_id()).touch()
         return self.run_many(configs, use_cache=use_cache,
-                             backend=backend, store=store)
+                             backend=backend, store=store,
+                             progress=progress)
+
+    def coordinate(self, spec: "SweepSpec",
+                   store: Optional["ResultStore"] = None,
+                   shards: Optional[int] = None,
+                   jobs: Optional[int] = None,
+                   chunksize: Optional[int] = None,
+                   use_cache: bool = True,
+                   progress: Optional[ProgressCallback] = None,
+                   executor: Optional[ExecutorBackend] = None,
+                   ) -> List[SimResult]:
+        """Run every shard of *spec* from this one process.
+
+        The :class:`~repro.api.exec.CoordinatorBackend` entry point:
+        the sweep is partitioned with the same key-stable
+        :meth:`~repro.api.spec.SweepSpec.shard` rule *k* separate
+        ``--shard i/k`` invocations would use, all shards are driven
+        over one worker pool, and each landed outcome streams into
+        *store* (crash-resume preserved).  Results come back in
+        :meth:`~repro.api.spec.SweepSpec.expand` order, identical to a
+        serial run.
+        """
+        from repro.api.exec import CoordinatorBackend
+        coordinator = CoordinatorBackend(shards=shards, jobs=jobs,
+                                         chunksize=chunksize,
+                                         executor=executor)
+        return coordinator.run(self, spec, store=store,
+                               use_cache=use_cache, progress=progress)
 
     # ------------------------------------------------------------------
     # the simulation itself

@@ -282,8 +282,12 @@ def summarize(results: Iterable[SimResult]) -> Dict[str, Any]:
     :func:`repro.harness.report.render_sweep_summary` turns the payload
     into a table.  When the results span more than one allocation
     policy (a ``policy-compare`` style sweep) a ``"policies"`` section
-    with the same per-group aggregates is included, so policy sweeps
-    render a policy breakdown without any special-casing upstream.
+    with the same per-group aggregates is included — each policy's
+    entry additionally carrying a per-workload ``"workloads"``
+    breakdown, which the renderer turns into a grouped bar chart
+    (:func:`repro.harness.charts.grouped_bar_chart`) keyed by the
+    ``policy`` axis — so policy sweeps render a policy breakdown
+    without any special-casing upstream.
     """
     by_workload: Dict[str, List[SimResult]] = {}
     by_policy: Dict[str, List[SimResult]] = {}
@@ -299,6 +303,16 @@ def summarize(results: Iterable[SimResult]) -> Dict[str, Any]:
     summary: Dict[str, Any] = {"points": total, "simulated": simulated,
                                "workloads": workloads}
     if len(by_policy) > 1:
-        summary["policies"] = {name: _aggregate(rows)
-                               for name, rows in sorted(by_policy.items())}
+        policies: Dict[str, Any] = {}
+        for name, rows in sorted(by_policy.items()):
+            per_workload: Dict[str, List[SimResult]] = {}
+            for row in rows:
+                per_workload.setdefault(row.config.workload,
+                                        []).append(row)
+            entry = _aggregate(rows)
+            entry["workloads"] = {
+                workload: _aggregate(group)
+                for workload, group in sorted(per_workload.items())}
+            policies[name] = entry
+        summary["policies"] = policies
     return summary

@@ -14,8 +14,11 @@ Commands:
 * ``sweep SPEC`` — run a declarative sweep (a ``SweepSpec`` JSON file
   or a named preset; ``--list-presets`` enumerates the presets) with
   optional key-stable sharding (``--shard i/k``), a durable result
-  store (``--store``), resume (``--resume``) and store merging
-  (``--merge``).
+  store (``--store``), resume (``--resume``), store merging
+  (``--merge``), live progress (``--progress``; with ``--json`` the
+  document carries the full lifecycle-event log), and ``--coordinate``
+  — drive *all* ``--shards K`` partitions from this one process over
+  a worker pool instead of launching K CLI invocations.
 
 ``run``/sweep specs select an allocation policy (``--policy`` /
 ``SimConfig.policy`` / a ``"policy"`` sweep axis) from the
@@ -36,10 +39,11 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.api import (ResultStore, SweepSpec, backend_for_jobs,
-                       default_session, experiment_names, get_experiment,
-                       ltp_preset, ltp_preset_names, merge_stores,
-                       parse_shard, summarize)
+from repro.api import (CoordinatorBackend, ResultStore, SweepSpec,
+                       backend_for_jobs, default_session,
+                       experiment_names, get_experiment, ltp_preset,
+                       ltp_preset_names, merge_stores, parse_shard,
+                       summarize)
 from repro.core.params import baseline_params, ltp_params
 from repro.harness.config import SimConfig
 from repro.harness.experiments import (resolve_sweep_spec,
@@ -126,12 +130,30 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="SRC",
                          help="merge these stores into --store instead "
                               "of running a sweep")
+    sweep_p.add_argument("--coordinate", action="store_true",
+                         help="drive every shard of the sweep from "
+                              "this process over a worker pool "
+                              "(replaces K separate --shard i/K "
+                              "invocations)")
+    sweep_p.add_argument("--shards", type=int, default=None, metavar="K",
+                         help="partition count for --coordinate "
+                              "(default: the worker count)")
     sweep_p.add_argument("--jobs", "-j", type=int, default=1,
                          help="worker processes (default 1; 0 = one "
                               "per CPU)")
+    sweep_p.add_argument("--chunksize", type=int, default=None,
+                         help="work items per pool round trip "
+                              "(default: auto)")
+    sweep_p.add_argument("--warmup", type=int, default=None,
+                         help="warmup instruction budget per point")
+    sweep_p.add_argument("--measure", type=int, default=None,
+                         help="measured instruction budget per point")
+    sweep_p.add_argument("--progress", action="store_true",
+                         help="live execution-progress line on stderr")
     sweep_p.add_argument("--no-cache", action="store_true")
     sweep_p.add_argument("--json", action="store_true",
-                         help="emit the sweep document as JSON")
+                         help="emit the sweep document as JSON "
+                              "(includes the lifecycle-event log)")
     return parser
 
 
@@ -202,14 +224,53 @@ def cmd_classify(args, out) -> int:
     return 0
 
 
-def _sweep_document(spec: SweepSpec, results, args) -> dict:
+class _ProgressReporter:
+    """Collects lifecycle events; optionally renders a live line.
+
+    Registered as the sweep's progress callback: every
+    :class:`~repro.api.exec.ExecEvent` is recorded (for the ``--json``
+    event log) and, with ``stream`` set, a ``\\r``-refreshed counter
+    line tracks execution (cache/store hits never reach the executor,
+    so the denominator is the *submitted* count).
+    """
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream
+        self.events: List[dict] = []
+        self.counts = {"submitted": 0, "finished": 0, "failed": 0,
+                       "retried": 0, "cancelled": 0}
+
+    def __call__(self, event) -> None:
+        self.events.append(event.to_dict())
+        if event.kind in self.counts:
+            self.counts[event.kind] += 1
+        if self.stream is None:
+            return
+        counts = self.counts
+        done = counts["finished"] + counts["failed"] + counts["cancelled"]
+        line = (f"\r[{done}/{counts['submitted']}] "
+                f"{event.kind} {event.workload}")
+        for kind in ("failed", "retried", "cancelled"):
+            if counts[kind]:
+                line += f" ({kind}: {counts[kind]})"
+        print(f"{line:<78}", end="", file=self.stream, flush=True)
+
+    def close(self) -> None:
+        if self.stream is not None and self.events:
+            print(file=self.stream)
+
+
+def _sweep_document(spec: SweepSpec, results, args,
+                    reporter: Optional[_ProgressReporter] = None,
+                    coordinator: Optional[CoordinatorBackend] = None,
+                    ) -> dict:
     counts = {
         "simulated": sum(1 for r in results if not r.cached),
         "from_store": sum(1 for r in results if r.source == "store"),
         "from_cache": sum(1 for r in results
                           if r.source in ("memory", "disk")),
     }
-    return {
+    document = {
         "sweep_id": spec.sweep_id(),
         "points": len(results),
         "shard": (f"{args.shard[0]}/{args.shard[1]}"
@@ -219,6 +280,11 @@ def _sweep_document(spec: SweepSpec, results, args) -> dict:
         "summary": summarize(results),
         "results": [r.to_dict() for r in results],
     }
+    if coordinator is not None:
+        document["coordinate"] = coordinator.last_report
+    if reporter is not None:
+        document["events"] = reporter.events
+    return document
 
 
 def cmd_list_experiments(args, out) -> int:
@@ -282,7 +348,17 @@ def cmd_sweep(args, out) -> int:
     if args.resume and args.store is None:
         print("--resume requires --store PATH", file=out)
         return 2
-    spec = resolve_sweep_spec(args.spec)
+    if args.coordinate and args.shard is not None:
+        print("--coordinate drives every shard itself; it is "
+              "incompatible with --shard (use --shards K to set the "
+              "partition count)", file=out)
+        return 2
+    if args.shards is not None and not args.coordinate:
+        print("--shards only applies to --coordinate (to run a single "
+              "partition of the sweep, use --shard i/k)", file=out)
+        return 2
+    spec = resolve_sweep_spec(args.spec, warmup=args.warmup,
+                              measure=args.measure)
 
     store = None
     if args.store is not None:
@@ -293,24 +369,47 @@ def cmd_sweep(args, out) -> int:
         store = ResultStore(args.store)
 
     session = default_session()
-    backend = backend_for_jobs(args.jobs)
+    reporter = _ProgressReporter(
+        stream=sys.stderr if args.progress else None)
+    coordinator = None
     try:
-        results = session.sweep(spec, use_cache=not args.no_cache,
-                                backend=backend, store=store,
-                                shard=args.shard)
+        if args.coordinate:
+            coordinator = CoordinatorBackend(
+                shards=args.shards,
+                jobs=None if args.jobs == 0 else args.jobs,
+                chunksize=args.chunksize)
+            results = coordinator.run(session, spec, store=store,
+                                      use_cache=not args.no_cache,
+                                      progress=reporter)
+        else:
+            backend = backend_for_jobs(args.jobs,
+                                       chunksize=args.chunksize)
+            results = session.sweep(spec, use_cache=not args.no_cache,
+                                    backend=backend, store=store,
+                                    shard=args.shard, progress=reporter)
     finally:
+        reporter.close()
         if store is not None:
             store.close()
 
     if args.json:
-        print(render_json(_sweep_document(spec, results, args)),
+        print(render_json(_sweep_document(spec, results, args,
+                                          reporter=reporter,
+                                          coordinator=coordinator)),
               file=out)
         return 0
-    shard_note = (f" (shard {args.shard[0]}/{args.shard[1]})"
-                  if args.shard else "")
+    if args.coordinate:
+        report = coordinator.last_report
+        note = (f" (coordinated {report['shards']} shards, "
+                f"{'/'.join(str(n) for n in report['per_shard'])} "
+                f"points)")
+    elif args.shard:
+        note = f" (shard {args.shard[0]}/{args.shard[1]})"
+    else:
+        note = ""
     print(render_sweep_summary(
         summarize(results),
-        title=f"Sweep {spec.sweep_id()}{shard_note}"), file=out)
+        title=f"Sweep {spec.sweep_id()}{note}"), file=out)
     return 0
 
 

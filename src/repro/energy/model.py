@@ -28,6 +28,8 @@ from typing import Optional
 
 from repro.core.params import CoreParams
 from repro.ltp.config import LTPConfig
+from repro.policies.registry import (DEFAULT_POLICY, policy_parks,
+                                     policy_uses_uit)
 
 #: architectural registers per class (the RF holds available + architectural)
 ARCH_REGS = 32
@@ -80,12 +82,25 @@ def rf_ports(params: CoreParams) -> int:
 
 
 def compute_energy(params: CoreParams, ltp: LTPConfig,
-                   result: dict) -> EnergyBreakdown:
+                   result: dict,
+                   policy: Optional[str] = None) -> EnergyBreakdown:
     """Energy of IQ + RF (+ LTP structures) over a finished run.
 
     *result* is the flattened statistics dict a run produces
     (:meth:`repro.core.stats.SimStats.as_dict`); only the occupancy
     averages, cycle count and LTP-enabled fraction are consumed.
+
+    *policy* makes the model policy-aware: which window structures
+    are charged comes from the :mod:`repro.policies` registry's
+    ``parks`` / ``uses_uit`` metadata (the policy's ``stats_extra``
+    occupancy statistics — ``avg_ltp``, ``ltp_enabled_fraction`` —
+    feed the utilization terms), so ``oracle-park``/``depth-park``
+    runs get queue-energy estimates and ``baseline-stall`` is never
+    charged for a mechanism it forces off.  Only the ``ltp`` policy's
+    DRAM-timer monitor power-gates the queue; other parking policies
+    clock it continuously.  ``policy=None`` (or the default ``ltp``
+    policy) reproduces the original LTP-config-keyed behaviour
+    exactly.
     """
     cycles = max(1, int(result["cycles"]))
 
@@ -100,17 +115,29 @@ def compute_energy(params: CoreParams, ltp: LTPConfig,
                   + _effective(params.fp_regs) + ARCH_REGS)
     rf_energy = COST_RF_RAM * rf_entries * rf_ports(params) * cycles
 
+    if policy is None:
+        charge_queue = charge_uit = ltp.enabled
+        power_gated = True
+    else:
+        charge_queue = policy_parks(policy, ltp)
+        charge_uit = policy_uses_uit(policy, ltp)
+        # only the LTP controller's DRAM-timer monitor power-gates the
+        # structures; scenario parking policies clock them continuously
+        power_gated = policy == DEFAULT_POLICY
+
     ltp_energy = 0.0
     uit_energy = 0.0
-    if ltp.enabled:
+    enabled_frac = (result["ltp_enabled_fraction"] if power_gated
+                    else 1.0)
+    if charge_queue:
         ltp_entries = _effective(ltp.entries)
         ltp_static = COST_LTP_RAM * ltp_entries * ltp.ports
         ltp_util = min(1.0, result["avg_ltp"] / max(1, ltp_entries))
-        enabled_frac = result["ltp_enabled_fraction"]
         # power-gated when the DRAM-timer monitor is off: only a small
         # always-on share remains
         ltp_energy = ltp_static * cycles * (
             0.1 + enabled_frac * (0.5 + 0.4 * ltp_util))
+    if charge_uit:
         uit_entries = _effective(ltp.uit_size)
         uit_static = COST_UIT_CAM * uit_entries * 2  # lookup + insert port
         uit_energy = uit_static * cycles * (0.1 + 0.9 * enabled_frac)

@@ -32,6 +32,41 @@ def bar_chart(items: Sequence[Tuple[str, float]], width: int = 50,
     return "\n".join(lines)
 
 
+def grouped_bar_chart(groups: "Dict[str, Sequence[Tuple[str, float]]]",
+                      width: int = 40, title: Optional[str] = None,
+                      unit: str = "") -> str:
+    """Bar chart with one block of bars per group, on a shared scale.
+
+    *groups* maps a group label (e.g. an allocation policy) to its
+    ``(bar label, value)`` pairs (e.g. per-workload means).  All bars
+    scale to the largest |value| across every group, so blocks compare
+    against each other — the shape sweep summaries use for their
+    per-policy breakdowns.
+    """
+    if not groups or not any(items for items in groups.values()):
+        raise ValueError("nothing to chart")
+    label_width = max(len(label)
+                      for items in groups.values()
+                      for label, _ in items)
+    peak = max((abs(value)
+                for items in groups.values()
+                for _, value in items), default=0.0) or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for group_index, (group, items) in enumerate(groups.items()):
+        if group_index:
+            lines.append("")
+        lines.append(f"{group}:")
+        for label, value in items:
+            bar_len = int(round(abs(value) / peak * width))
+            bar = ("<" if value < 0 else "#") * bar_len
+            lines.append(
+                f"  {label:>{label_width}} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
 def series_chart(x_labels: Sequence[str],
                  series: Dict[str, Sequence[float]],
                  height: int = 12, title: Optional[str] = None) -> str:

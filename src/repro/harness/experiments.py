@@ -858,10 +858,14 @@ def policy_comparison(warmup: Optional[int] = None,
     The scenario space the policy seam opens: per suite, mean relative
     performance of each :mod:`repro.policies` policy (on the IQ32/RF96
     core with the proposed LTP structure sizes) against the IQ64/RF128
-    no-LTP baseline, alongside how much each policy parks.  Criticality-
-    aware policies (``ltp``, ``oracle-park``) should recover the big
-    core's performance; the criticality-blind strawmen (``random-park``)
-    should not — the paper's central claim, now one sweep axis.
+    no-LTP baseline, alongside how much each policy parks and its
+    policy-aware IQ/RF/queue ED2P delta
+    (:func:`repro.energy.model.compute_energy` charges only the window
+    structures the policy's registry metadata says it clocks).
+    Criticality-aware policies (``ltp``, ``oracle-park``) should
+    recover the big core's performance; the criticality-blind strawmen
+    (``random-park``) should not — the paper's central claim, now one
+    sweep axis.
     """
     chosen = list(policies) if policies is not None else policy_names()
     base_core = baseline_params()
@@ -870,21 +874,27 @@ def policy_comparison(warmup: Optional[int] = None,
     out: Dict[str, dict] = {}
     for category in (MLP_SENSITIVE, MLP_INSENSITIVE):
         names = _suite_names(category)
-        base_cycles = {
-            n: int(_run(n, base_core, no_ltp(), warmup, measure)["cycles"])
-            for n in names}
+        base = {n: _run(n, base_core, no_ltp(), warmup, measure)
+                for n in names}
+        base_cycles = {n: int(r["cycles"]) for n, r in base.items()}
+        base_energy = {n: compute_energy(base_core, no_ltp(), r)
+                       for n, r in base.items()}
         per_policy: Dict[str, dict] = {}
         for policy in chosen:
-            perfs, parked = [], []
+            perfs, parked, ed2ps = [], [], []
             for name in names:
                 result = _run(name, small_core, ltp, warmup, measure,
                               policy=policy)
                 perfs.append(base_cycles[name] / int(result["cycles"]))
                 committed = max(1, int(result["committed"]))
                 parked.append(result["ltp_parked"] / committed)
+                energy = compute_energy(small_core, ltp, result,
+                                        policy=policy)
+                ed2ps.append(relative_ed2p(energy, base_energy[name]))
             per_policy[policy] = {
                 "perf_pct": (geometric_mean(perfs) - 1.0) * 100.0,
                 "parked_frac": arithmetic_mean(parked),
+                "ed2p_pct": arithmetic_mean(ed2ps),
             }
         out[category] = per_policy
     return {"policies": chosen, "by_category": out}
@@ -897,9 +907,11 @@ def render_policy_comparison(result: dict) -> str:
         for policy in result["policies"]:
             data = per_policy[policy]
             rows.append([GROUP_LABELS.get(category, category), policy,
-                         data["perf_pct"], 100.0 * data["parked_frac"]])
+                         data["perf_pct"], 100.0 * data["parked_frac"],
+                         data.get("ed2p_pct")])
     return render_table(
-        ["suite", "policy", "perf vs base (%)", "parked (%)"],
+        ["suite", "policy", "perf vs base (%)", "parked (%)",
+         "ED2P vs base (%)"],
         rows, precision=1,
         title="Allocation policies on IQ:32 RF:96, "
               "perf vs IQ:64 RF:128 no-LTP baseline")

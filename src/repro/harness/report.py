@@ -78,7 +78,9 @@ def render_sweep_summary(summary: dict, title: Optional[str] = None) -> str:
     preceded by the sweep's point/simulated counts.  Sweeps spanning
     more than one allocation policy (``summarize`` adds a
     ``"policies"`` section for those) get a per-policy breakdown table
-    appended.
+    appended, plus a grouped bar chart of per-workload mean CPI keyed
+    by the ``policy`` axis when the per-policy entries carry workload
+    breakdowns.
     """
     counts = (f"{summary['points']} points "
               f"({summary['simulated']} simulated, "
@@ -91,4 +93,14 @@ def render_sweep_summary(summary: dict, title: Optional[str] = None) -> str:
     if policies:
         parts.append(_render_summary_groups(policies, "policy",
                                             "By allocation policy"))
+        groups = {
+            policy: [(workload, agg["mean_cpi"])
+                     for workload, agg in data["workloads"].items()]
+            for policy, data in policies.items()
+            if data.get("workloads")
+        }
+        if groups:
+            from repro.harness.charts import grouped_bar_chart
+            parts.append(grouped_bar_chart(
+                groups, title="Mean CPI by policy"))
     return "\n".join(parts)

@@ -28,6 +28,8 @@ from repro.policies.registry import register_policy
 @register_policy(
     "ltp",
     needs_oracle=lambda ltp: ltp.enabled,
+    parks=lambda ltp: ltp.enabled,
+    uses_uit=lambda ltp: ltp.enabled,
     description="the paper's Long Term Parking controller "
                 "(criticality-aware deferred allocation); degrades to "
                 "the stalling baseline when ltp.enabled is False")

@@ -46,17 +46,29 @@ class PolicyInfo:
     factory: Callable[..., object]
     description: str = ""
     needs_oracle: OracleNeed = False
+    #: does the policy occupy the parking queue (drives the energy
+    #: model's LTP-structure charge)?  bool, or predicate over the
+    #: run's LTPConfig
+    parks: OracleNeed = False
+    #: does the policy consult the UIT classifier CAM?
+    uses_uit: OracleNeed = False
 
 
 _REGISTRY: Dict[str, PolicyInfo] = {}
 
 
 def register_policy(name: str, description: Optional[str] = None,
-                    needs_oracle: OracleNeed = False) -> Callable:
+                    needs_oracle: OracleNeed = False,
+                    parks: OracleNeed = False,
+                    uses_uit: OracleNeed = False) -> Callable:
     """Class decorator registering an :class:`AllocationPolicy`.
 
     The decorated class must be constructible as
-    ``factory(ltp_config, dram_latency, oracle=...)``.
+    ``factory(ltp_config, dram_latency, oracle=...)``.  ``parks`` and
+    ``uses_uit`` describe which window structures the policy clocks
+    (the energy model charges only those); like ``needs_oracle`` they
+    may be plain bools or predicates over the run's
+    :class:`~repro.ltp.config.LTPConfig`.
     """
 
     def decorate(cls):
@@ -68,7 +80,8 @@ def register_policy(name: str, description: Optional[str] = None,
         cls.name = name
         _REGISTRY[name] = PolicyInfo(name=name, factory=cls,
                                      description=doc,
-                                     needs_oracle=needs_oracle)
+                                     needs_oracle=needs_oracle,
+                                     parks=parks, uses_uit=uses_uit)
         return cls
 
     return decorate
@@ -113,12 +126,25 @@ def policy_descriptions() -> Dict[str, str]:
             for name in sorted(_REGISTRY)}
 
 
-def policy_needs_oracle(name: str, ltp: LTPConfig) -> bool:
-    """Does *name* want the trace oracle annotation for this config?"""
-    need = policy_info(name).needs_oracle
+def _resolve_need(need: OracleNeed, ltp: LTPConfig) -> bool:
     if callable(need):
         return bool(need(ltp))
     return bool(need)
+
+
+def policy_needs_oracle(name: str, ltp: LTPConfig) -> bool:
+    """Does *name* want the trace oracle annotation for this config?"""
+    return _resolve_need(policy_info(name).needs_oracle, ltp)
+
+
+def policy_parks(name: str, ltp: LTPConfig) -> bool:
+    """Does *name* occupy the parking queue under this config?"""
+    return _resolve_need(policy_info(name).parks, ltp)
+
+
+def policy_uses_uit(name: str, ltp: LTPConfig) -> bool:
+    """Does *name* consult the UIT classifier under this config?"""
+    return _resolve_need(policy_info(name).uses_uit, ltp)
 
 
 def build_policy(name: str, ltp: LTPConfig, dram_latency: int,

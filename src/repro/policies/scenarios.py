@@ -37,6 +37,7 @@ from repro.policies.registry import register_policy
 @register_policy(
     "oracle-park",
     needs_oracle=True,
+    parks=True,
     description="park exactly the oracle's Non-Urgent set (perfect "
                 "classification; the bound learned classifiers chase)")
 class OracleParkPolicy(LTPPolicy):
@@ -70,6 +71,7 @@ def _mix(seq: int, pc: int) -> int:
 
 @register_policy(
     "random-park",
+    parks=True,
     description="park a deterministic pseudo-random fraction of "
                 "instructions, waking each after a fixed countdown "
                 "(criticality-blind strawman)")
@@ -111,6 +113,7 @@ class RandomParkPolicy(ParkingPolicy):
 
 @register_policy(
     "depth-park",
+    parks=True,
     description="park instructions deep in an in-flight dependence "
                 "chain, waking each when its operands are ready "
                 "(WIB-flavoured park-until-ready)")

@@ -86,10 +86,33 @@ def test_backend_protocol_runtime_check():
     assert isinstance(ProcessPoolBackend(), ExecutionBackend)
 
 
-def test_custom_backend_plugs_in(tmp_path):
-    """A user-supplied backend only needs `name` and `execute`."""
+def test_custom_executor_subclass_plugs_in(tmp_path):
+    """A futures-style backend subclasses SerialBackend/ExecutorBackend."""
 
-    class CountingBackend(SerialBackend):
+    class CountingExecutor(SerialBackend):
+        name = "counting"
+
+        def __init__(self):
+            super().__init__()
+            self.calls = 0
+
+        def submit(self, item, shard=None):
+            self.calls += 1
+            return super().submit(item, shard=shard)
+
+    backend = CountingExecutor()
+    session = Session(cache_dir=str(tmp_path), backend=backend)
+    results = session.run_many(_configs()[:2], use_cache=False)
+    assert backend.calls == 2
+    assert all(r.backend == "counting" for r in results)
+
+
+def test_legacy_iterator_backend_plugs_in(tmp_path):
+    """A bare `name` + `execute()` object still works (adapted, with a
+    DeprecationWarning)."""
+    import pytest
+
+    class CountingBackend:
         name = "counting"
 
         def __init__(self):
@@ -97,10 +120,15 @@ def test_custom_backend_plugs_in(tmp_path):
 
         def execute(self, session, items):
             self.calls += len(items)
-            yield from super().execute(session, items)
+            for index, config, use_cache in items:
+                result = session.run(config, use_cache=use_cache)
+                yield (index, result.stats, result.wall_time_s,
+                       result.source)
 
     backend = CountingBackend()
     session = Session(cache_dir=str(tmp_path), backend=backend)
-    results = session.run_many(_configs()[:2], use_cache=False)
+    with pytest.warns(DeprecationWarning,
+                      match="iterator-style execution backends"):
+        results = session.run_many(_configs()[:2], use_cache=False)
     assert backend.calls == 2
     assert all(r.backend == "counting" for r in results)

@@ -67,3 +67,54 @@ def test_ci_sweep_verify_detects_missing_point(tmp_path):
                        "--store", str(store)], tmp_path)
     assert proc.returncode == 1
     assert "MISSING" in proc.stdout
+
+
+def test_ci_sweep_coordinate_matches_shard_union(tmp_path):
+    """One coordinated run == the k-invocation shard union, bit for bit."""
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+    stores = []
+    for index in range(2):
+        store = tmp_path / f"shard{index}.jsonl"
+        stores.append(str(store))
+        proc = run_driver(["run", "--spec", str(spec_path),
+                           "--shard", f"{index}/2", "--store", str(store)],
+                          tmp_path)
+        assert proc.returncode == 0, proc.stderr
+    merged = tmp_path / "merged.jsonl"
+    proc = run_driver(["merge", *stores, "--store", str(merged)], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+
+    coordinated = tmp_path / "coordinated.jsonl"
+    proc = run_driver(["coordinate", "--spec", str(spec_path),
+                       "--shards", "2", "--jobs", "2",
+                       "--store", str(coordinated)],
+                      tmp_path / "isolated")  # fresh cache: no reuse
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "coordinated over 2 shard(s)" in proc.stdout
+
+    proc = run_driver(["compare", str(merged), str(coordinated)],
+                      tmp_path)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "bit-identical" in proc.stdout
+
+    # and the coordinated store verifies against a serial rerun too
+    proc = run_driver(["verify", "--spec", str(spec_path),
+                       "--store", str(coordinated)], tmp_path)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_ci_sweep_compare_detects_divergence(tmp_path):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+    left = tmp_path / "left.jsonl"
+    proc = run_driver(["run", "--spec", str(spec_path),
+                       "--store", str(left)], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    # drop one point from the right-hand store
+    lines = left.read_text().strip().splitlines()
+    right = tmp_path / "right.jsonl"
+    right.write_text("\n".join(lines[:-1]) + "\n")
+    proc = run_driver(["compare", str(left), str(right)], tmp_path)
+    assert proc.returncode == 1
+    assert "MISSING" in proc.stdout
