@@ -8,16 +8,21 @@ Usage (from the repo root)::
     python scripts/bench.py --save-baseline  # snapshot benchmarks/perf/baseline_seed.json
 
 The output document records simulated-instructions-per-second for each
-configuration in ``benchmarks.perf.harness.BENCH_CONFIGS``, alongside
-the committed pre-optimisation seed baseline and the speedup against
-it.  See README.md ("Performance tracking") for how to read the file.
+configuration in ``benchmarks.perf.harness.BENCH_CONFIGS``, measured
+A/B on both simulation engines (the reference object pipeline and the
+columnar kernel), alongside the committed pre-optimisation seed
+baseline, the speedups against it per engine, and the per-config
+kernel-over-object ``engine_speedup``.  See README.md ("Performance
+tracking") for how to read the file.
 
 ``--check`` turns the run into a regression gate (CI uses ``--smoke
---check``): the freshly measured ``milc_baseline`` speedup over
-``benchmarks/perf/baseline_seed.json`` is compared against the speedup
-recorded in the committed ``BENCH_pipeline.json`` (read before it is
-overwritten), and the exit code is nonzero if it regressed by more
-than :data:`CHECK_TOLERANCE`.
+--check``): the freshly measured headline speedup (the kernel engine
+on ``milc_baseline``) over ``benchmarks/perf/baseline_seed.json`` is
+compared against the speedup recorded in the committed
+``BENCH_pipeline.json`` (read before it is overwritten) within
+:data:`CHECK_TOLERANCE`, and every other config is held to its
+committed per-engine speedup within :data:`PER_CONFIG_TOLERANCE`; the
+exit code is nonzero if any gate fails.
 
 ``--tune-chunksize`` measures the pool executor's dispatch chunking
 (:class:`repro.api.ProcessPoolBackend`'s ``chunksize``) on the
@@ -53,6 +58,15 @@ from benchmarks.perf import harness  # noqa: E402
 #: runner class proves systematically slower.
 CHECK_TOLERANCE = float(os.environ.get("BENCH_CHECK_TOLERANCE", "0.15"))
 
+#: per-config gate tolerance: every non-headline config (both the
+#: object path and the kernel path) is held to its committed speedup
+#: within this margin, so a kernel-engine gain can never mask an
+#: object-path regression on any config.  Wider than the headline's —
+#: the satellite configs run fewer instructions per measured second
+#: and sit closer to timer noise.
+PER_CONFIG_TOLERANCE = float(
+    os.environ.get("BENCH_CONFIG_TOLERANCE", "0.20"))
+
 
 def load_reference(path: Path) -> dict:
     """The committed document (read before overwriting), or empty."""
@@ -64,7 +78,18 @@ def load_reference(path: Path) -> dict:
 
 
 def check_regression(document: dict, reference: dict) -> int:
-    """Gate the headline speedup; returns the process exit code."""
+    """Gate the headline and every per-config speedup; returns the
+    process exit code.
+
+    The headline gate keeps its historical semantics and tolerance
+    (:data:`CHECK_TOLERANCE`); additionally, every config measured in
+    both the fresh run and the committed reference is gated per engine
+    path (``speedup_vs_baseline`` for the object pipeline,
+    ``kernel_speedup_vs_baseline`` for the kernel) within
+    :data:`PER_CONFIG_TOLERANCE`.  Reference maps a past document does
+    not carry are skipped, so the gate tightens as references refresh.
+    """
+    failures = 0
     current = document.get("headline_speedup")
     ref_speedup = reference.get("headline_speedup")
     headline = document.get("headline", harness.HEADLINE)
@@ -74,6 +99,8 @@ def check_regression(document: dict, reference: dict) -> int:
         return 0
     floor = ref_speedup * (1.0 - CHECK_TOLERANCE)
     verdict = "OK" if current >= floor else "REGRESSION"
+    if current < floor:
+        failures += 1
     regime = ""
     if bool(reference.get("smoke")) != bool(document.get("smoke")):
         regime = (" [note: budget regimes differ — reference "
@@ -83,7 +110,27 @@ def check_regression(document: dict, reference: dict) -> int:
     print(f"perf check {verdict}: {headline} speedup {current:.3f}x vs "
           f"committed {ref_speedup:.3f}x (floor {floor:.3f}x, "
           f"tolerance {CHECK_TOLERANCE:.0%}){regime}")
-    return 0 if current >= floor else 1
+
+    for map_name, label in (("speedup_vs_baseline", "object"),
+                            ("kernel_speedup_vs_baseline", "kernel")):
+        current_map = document.get(map_name) or {}
+        reference_map = reference.get(map_name) or {}
+        for name in sorted(reference_map):
+            ref_value = reference_map[name]
+            value = current_map.get(name)
+            if value is None or not ref_value:
+                continue  # config not measured this run
+            config_floor = ref_value * (1.0 - PER_CONFIG_TOLERANCE)
+            if value >= config_floor:
+                continue
+            failures += 1
+            print(f"perf check REGRESSION: {name} [{label}] speedup "
+                  f"{value:.3f}x vs committed {ref_value:.3f}x "
+                  f"(floor {config_floor:.3f}x, tolerance "
+                  f"{PER_CONFIG_TOLERANCE:.0%})")
+    if not failures:
+        print("perf check OK: all per-config gates within tolerance")
+    return 1 if failures else 0
 
 
 #: chunk sizes --tune-chunksize sweeps
@@ -210,12 +257,17 @@ def main(argv=None) -> int:
 
     rows = document["configs"]
     width = max(len(name) for name in rows)
-    print(f"{'config':<{width}}  {'insts/sec':>12}  {'IPC':>7}  speedup")
+    print(f"{'config':<{width}}  {'object i/s':>12}  {'kernel i/s':>12}  "
+          f"{'IPC':>7}  {'speedup':>8}  {'kernel x':>9}")
     for name, row in rows.items():
         speedup = document.get("speedup_vs_baseline", {}).get(name)
         suffix = f"{speedup:7.2f}x" if speedup else "      --"
+        kernel_ips = row.get("kernel", {}).get("insts_per_sec")
+        kernel_col = f"{kernel_ips:>12,.0f}" if kernel_ips else f"{'--':>12}"
+        engine_x = row.get("engine_speedup")
+        engine_col = f"{engine_x:8.2f}x" if engine_x else f"{'--':>9}"
         print(f"{name:<{width}}  {row['insts_per_sec']:>12,.0f}  "
-              f"{row['ipc']:>7.3f}  {suffix}")
+              f"{kernel_col}  {row['ipc']:>7.3f}  {suffix}  {engine_col}")
     print(f"\nwrote {output}")
     if args.check:
         return check_regression(document, reference)

@@ -81,6 +81,10 @@ class Session:
         #: halts early and the trace is complete (LRU, bounded)
         self._trace_cache: "OrderedDict[str, Tuple[int, List[DynInst]]]" = \
             OrderedDict()
+        #: workload name -> columnar predecode of that workload's cached
+        #: trace (kernel engine); keyed alongside ``_trace_cache`` and
+        #: bounded by the same cap, so arrays never outlive their trace
+        self._arrays_cache: "OrderedDict[str, Any]" = OrderedDict()
         #: (workload, length, mem key, window) -> oracle annotation
         self._oracle_cache: \
             "OrderedDict[Tuple[str, int, str, int], OracleInfo]" = \
@@ -104,6 +108,7 @@ class Session:
         legacy ``runner.clear_memory_caches`` semantics).
         """
         self._trace_cache.clear()
+        self._arrays_cache.clear()
         self._oracle_cache.clear()
         if results:
             self.results._memory.clear()
@@ -156,6 +161,33 @@ class Session:
         if len(full) <= length:
             return full
         return full[:length]
+
+    def get_trace_arrays(self, workload_name: str, length: int,
+                         factory: Optional[Callable[[str], Any]] = None):
+        """Columnar predecode of the first *length* instructions.
+
+        The kernel engine's :class:`~repro.core.kernel.TraceArrays` for
+        a workload, memoised next to the trace itself: the predecode
+        covers the session's cached (longest) trace, is invalidated
+        whenever that trace object changes, and shorter requests get a
+        columnar window over the shared arrays — so N configurations
+        batched against one workload predecode exactly once.  Bounded
+        by ``trace_cache_size`` like the trace cache it shadows.
+        """
+        from repro.core.kernel import predecode
+        self.get_trace(workload_name, length, factory)
+        full = self._trace_cache[workload_name][1]
+        arrays_cache = self._arrays_cache
+        arrays = arrays_cache.get(workload_name)
+        if arrays is None or arrays.dyns is not full:
+            arrays = predecode(full)
+            arrays_cache[workload_name] = arrays
+        arrays_cache.move_to_end(workload_name)
+        while len(arrays_cache) > self.trace_cache_size:
+            arrays_cache.popitem(last=False)
+        if arrays.n <= length:
+            return arrays
+        return arrays.window(0, length)
 
     def get_oracle(self, workload_name: str, length: int, core: CoreParams,
                    trace: List[DynInst],
@@ -431,9 +463,19 @@ class Session:
                 oracle.long_latency[:config.warmup]
                 if oracle is not None else None)
 
-        pipeline = Pipeline(measured, params=config.core, ltp=config.ltp,
-                            policy=policy, hierarchy=hierarchy,
-                            branch_predictor=bpred)
+        if config.engine == "kernel":
+            from repro.core.kernel import KernelPipeline
+            arrays = self.get_trace_arrays(config.workload, total)
+            pipeline: Pipeline = KernelPipeline(
+                measured, params=config.core, ltp=config.ltp,
+                policy=policy, hierarchy=hierarchy,
+                branch_predictor=bpred,
+                arrays=arrays.window(config.warmup))
+        else:
+            pipeline = Pipeline(measured, params=config.core,
+                                ltp=config.ltp, policy=policy,
+                                hierarchy=hierarchy,
+                                branch_predictor=bpred)
         stats = pipeline.run().as_dict()
         stats["workload"] = config.workload
         stats["category"] = workload.category
@@ -455,6 +497,7 @@ class Session:
         view.trace_cache_size = self.trace_cache_size
         view.oracle_cache_size = self.oracle_cache_size
         view._trace_cache = self._trace_cache
+        view._arrays_cache = self._arrays_cache
         view._oracle_cache = self._oracle_cache
         view._workload_factory = self._workload_factory
         return view

@@ -38,7 +38,8 @@ from dataclasses import fields as dataclass_fields
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.params import CoreParams
-from repro.harness.config import (SimConfig, core_from_dict, ltp_from_dict)
+from repro.harness.config import (DEFAULT_ENGINE, SimConfig, core_from_dict,
+                                  ltp_from_dict)
 from repro.ltp.config import LTPConfig
 from repro.policies.registry import DEFAULT_POLICY
 
@@ -46,6 +47,8 @@ from repro.policies.registry import DEFAULT_POLICY
 _BUDGET_AXES = ("warmup", "measure")
 #: axis path that addresses the allocation policy
 _POLICY_AXIS = "policy"
+#: axis path that addresses the simulation engine
+_ENGINE_AXIS = "engine"
 
 
 def _axis_fields(cls: type) -> frozenset:
@@ -56,7 +59,7 @@ _LTP_FIELDS = _axis_fields(LTPConfig)
 
 
 def _check_axis(path: str) -> None:
-    if path in _BUDGET_AXES or path == _POLICY_AXIS:
+    if path in _BUDGET_AXES or path in (_POLICY_AXIS, _ENGINE_AXIS):
         return
     prefix, _, name = path.partition(".")
     if prefix == "core" and name in _CORE_FIELDS:
@@ -65,7 +68,7 @@ def _check_axis(path: str) -> None:
         return
     raise ValueError(
         f"unknown sweep axis {path!r}: use 'core.<field>', 'ltp.<field>', "
-        f"'policy', 'warmup' or 'measure'")
+        f"'policy', 'engine', 'warmup' or 'measure'")
 
 
 def shard_of(key: str, count: int) -> int:
@@ -108,6 +111,9 @@ class SweepSpec:
     #: base allocation policy; the ``"policy"`` axis overrides it per
     #: point (the default keeps pre-policy sweep ids stable)
     policy: str = DEFAULT_POLICY
+    #: base simulation engine; the ``"engine"`` axis overrides it per
+    #: point (the default keeps pre-engine sweep ids stable)
+    engine: str = DEFAULT_ENGINE
     #: dotted parameter path -> values; expansion is the cross product
     #: in insertion order, workloads outermost
     axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
@@ -134,12 +140,15 @@ class SweepSpec:
                 ltp_overrides: Dict[str, Any] = {}
                 budgets: Dict[str, Any] = {}
                 policy = self.policy
+                engine = self.engine
                 for path, value in zip(axis_paths, combo):
                     prefix, _, name = path.partition(".")
                     if path in _BUDGET_AXES:
                         budgets[path] = value
                     elif path == _POLICY_AXIS:
                         policy = str(value)
+                    elif path == _ENGINE_AXIS:
+                        engine = str(value)
                     elif prefix == "core":
                         core_overrides[name] = value
                     else:
@@ -150,7 +159,7 @@ class SweepSpec:
                           if core_overrides else self.core),
                     ltp=(self.ltp.but(**ltp_overrides)
                          if ltp_overrides else self.ltp),
-                    policy=policy)
+                    policy=policy, engine=engine)
                 if self.warmup is not None:
                     config.warmup = self.warmup
                 if self.measure is not None:
@@ -212,6 +221,8 @@ class SweepSpec:
             # sweep-id stability: default-policy specs serialize exactly
             # as pre-policy ones did
             payload["policy"] = self.policy
+        if self.engine != DEFAULT_ENGINE:
+            payload["engine"] = self.engine
         return payload
 
     @classmethod
@@ -227,6 +238,7 @@ class SweepSpec:
         warmup = payload.pop("warmup", None)
         measure = payload.pop("measure", None)
         policy = payload.pop("policy", DEFAULT_POLICY)
+        engine = payload.pop("engine", DEFAULT_ENGINE)
         axes = payload.pop("axes", {}) or {}
         if payload:
             raise ValueError(f"unknown sweep fields: {sorted(payload)}")
@@ -238,6 +250,6 @@ class SweepSpec:
                  else LTPConfig()),
             warmup=None if warmup is None else int(warmup),
             measure=None if measure is None else int(measure),
-            policy=str(policy),
+            policy=str(policy), engine=str(engine),
             axes={path: list(values) for path, values in axes.items()})
         return spec.validate()

@@ -45,7 +45,7 @@ from repro.api import (CoordinatorBackend, ResultStore, SweepSpec,
                        ltp_preset_names, merge_stores, parse_shard,
                        summarize)
 from repro.core.params import baseline_params, ltp_params
-from repro.harness.config import SimConfig
+from repro.harness.config import DEFAULT_ENGINE, ENGINES, SimConfig
 from repro.harness.experiments import (resolve_sweep_spec,
                                        sweep_preset_descriptions,
                                        sweep_preset_names)
@@ -80,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default=DEFAULT_POLICY,
                        help="allocation policy (default: the LTP "
                             "controller path; see repro.policies)")
+    run_p.add_argument("--engine", choices=list(ENGINES),
+                       default=DEFAULT_ENGINE,
+                       help="simulation engine: the reference object "
+                            "pipeline or the bit-identical columnar "
+                            "kernel")
     run_p.add_argument("--iq", type=int, default=None,
                        help="override IQ size")
     run_p.add_argument("--rf", type=int, default=None,
@@ -148,6 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="warmup instruction budget per point")
     sweep_p.add_argument("--measure", type=int, default=None,
                          help="measured instruction budget per point")
+    sweep_p.add_argument("--engine", choices=list(ENGINES), default=None,
+                         help="simulation engine for every point "
+                              "(default: the spec's; an 'engine' axis "
+                              "still wins per point)")
     sweep_p.add_argument("--progress", action="store_true",
                          help="live execution-progress line on stderr")
     sweep_p.add_argument("--no-cache", action="store_true")
@@ -173,7 +182,8 @@ def cmd_run(args, out) -> int:
     if args.rf is not None:
         core = core.but(int_regs=args.rf, fp_regs=args.rf)
     config = SimConfig(workload=args.workload, core=core,
-                       ltp=ltp_preset(args.ltp), policy=args.policy)
+                       ltp=ltp_preset(args.ltp), policy=args.policy,
+                       engine=args.engine)
     if args.warmup is not None:
         config.warmup = args.warmup
     if args.measure is not None:
@@ -358,7 +368,7 @@ def cmd_sweep(args, out) -> int:
               "partition of the sweep, use --shard i/k)", file=out)
         return 2
     spec = resolve_sweep_spec(args.spec, warmup=args.warmup,
-                              measure=args.measure)
+                              measure=args.measure, engine=args.engine)
 
     store = None
     if args.store is not None:

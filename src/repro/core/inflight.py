@@ -45,40 +45,31 @@ class InFlightInst:
     )
 
     def __init__(self, dyn: DynInst) -> None:
+        # one record is built per rename *attempt* (retries included),
+        # so this constructor is hot: constant defaults are grouped into
+        # chained stores and the pre-decoded metadata the per-cycle
+        # paths touch is mirrored so the hot loop never takes the extra
+        # hop through ``dyn``
         self.dyn = dyn
         self.seq = dyn.seq
-        # mirror the pre-decoded metadata the per-cycle paths touch, so
-        # the hot loop never takes the extra hop through ``dyn``
         self.is_load = dyn.is_load
         self.is_store = dyn.is_store
         self.has_dst = dyn.has_dst
         self.fu_group = dyn.fu_group
         self.nonpipelined = dyn.nonpipelined
+        self.rf_class: Optional[str] = dyn.rf_class
         self.waiting_on = 0
         self.consumers = _NO_CONSUMERS  # list on first append (see pipeline)
-        self.in_iq = False
-        self.issued = False
-        self.done = False
-        self.completion_cycle: Optional[int] = None
-        self.parked = False
-        self.urgent = False
-        self.non_ready = False
-        self.predicted_ll = False
-        self.actual_ll = False
-        self.ll_listed = False
         self.tickets = _NO_TICKETS  # real set assigned by TicketTracker
-        self.own_ticket: Optional[int] = None
-        self.rf_class: Optional[str] = dyn.rf_class
-        self.rf_allocated = False
-        self.lq_allocated = False
-        self.sq_allocated = False
-        self.rename_cycle: Optional[int] = None
-        self.release_cycle: Optional[int] = None
-        self.issue_cycle: Optional[int] = None
-        self.mem_level: Optional[str] = None
         self.producer_records: Tuple[Optional["InFlightInst"], ...] = ()
+        self.in_iq = self.issued = self.done = self.parked = False
+        self.urgent = self.non_ready = False
+        self.predicted_ll = self.actual_ll = self.ll_listed = False
+        self.rf_allocated = self.lq_allocated = self.sq_allocated = False
         self.forced_release = False
-        self.park_reason: Optional[str] = None
+        self.completion_cycle = self.own_ticket = None
+        self.rename_cycle = self.release_cycle = self.issue_cycle = None
+        self.mem_level = self.park_reason = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         flags = []

@@ -54,6 +54,7 @@ Performance-sensitive invariants of the main loop (see README.md):
 
 from __future__ import annotations
 
+import gc as _gc
 import heapq
 from bisect import insort
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -227,11 +228,26 @@ class Pipeline:
     # public API
     # ==================================================================
     def run(self) -> SimStats:
-        """Run the trace to completion and return the statistics."""
+        """Run the trace to completion and return the statistics.
+
+        The cyclic collector is suspended for the duration: the model
+        allocates one record per rename attempt and links records into
+        producer/consumer reference cycles, so mid-run generational
+        scans cost wall time without reclaiming anything (records stay
+        reachable until the window drains).  Collection resumes — and
+        the cycles are reclaimed — on return.
+        """
         tick = self._tick
         finished = self._finished
-        while not finished():
-            tick()
+        gc_enabled = _gc.isenabled()
+        if gc_enabled:
+            _gc.disable()
+        try:
+            while not finished():
+                tick()
+        finally:
+            if gc_enabled:
+                _gc.enable()
         self.stats.cycles = self.cycle
         self._export_activity()
         return self.stats

@@ -34,6 +34,12 @@ DEFAULT_MEASURE = int(os.environ.get("REPRO_MEASURE_INSTS", "2500"))
 #: way that must invalidate cached results)
 CONFIG_SCHEMA = 3
 
+#: simulation engines: the reference object-graph pipeline and the
+#: columnar struct-of-arrays kernel (:mod:`repro.core.kernel`), which
+#: produces bit-identical statistics
+DEFAULT_ENGINE = "object"
+ENGINES = (DEFAULT_ENGINE, "kernel")
+
 
 def _dataclass_from_dict(cls: type, data: Mapping[str, Any], what: str):
     try:
@@ -70,11 +76,22 @@ class SimConfig:
     #: ("ltp") is the historical controller path and is omitted from
     #: payloads, so pre-policy configs keep their cache keys
     policy: str = DEFAULT_POLICY
+    #: simulation engine ("object" or "kernel"); both produce identical
+    #: statistics, so the engine is *not* part of the result identity —
+    #: it is omitted from default payloads and pre-engine configs keep
+    #: their cache keys, while explicit "kernel" payloads key separately
+    #: (a cheap safety net: a kernel-vs-object divergence would surface
+    #: as a cache mismatch rather than silently reusing results)
+    engine: str = DEFAULT_ENGINE
 
     def validate(self) -> "SimConfig":
         self.core.validate()
         self.ltp.validate()
         check_policy_name(self.policy)
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}: expected one of "
+                f"{', '.join(ENGINES)}")
         if self.warmup < 0 or self.measure <= 0:
             raise ValueError("warmup must be >= 0, measure > 0")
         return self
@@ -93,6 +110,8 @@ class SimConfig:
             # key stability: default-policy payloads are byte-identical
             # to pre-policy ones, so stored results keep resolving
             payload["policy"] = self.policy
+        if self.engine != DEFAULT_ENGINE:
+            payload["engine"] = self.engine
         return payload
 
     @classmethod
@@ -114,6 +133,7 @@ class SimConfig:
         warmup = payload.pop("warmup", DEFAULT_WARMUP)
         measure = payload.pop("measure", DEFAULT_MEASURE)
         policy = payload.pop("policy", DEFAULT_POLICY)
+        engine = payload.pop("engine", DEFAULT_ENGINE)
         if payload:
             raise ValueError(
                 f"unknown config fields: {sorted(payload)}")
@@ -124,7 +144,7 @@ class SimConfig:
             ltp=(ltp_from_dict(ltp_data) if ltp_data is not None
                  else LTPConfig()),
             warmup=int(warmup), measure=int(measure),
-            policy=str(policy))
+            policy=str(policy), engine=str(engine))
         return config.validate()
 
     def key(self) -> str:

@@ -25,7 +25,7 @@ never performs a property call or opcode-table lookup per cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.isa.instructions import (FU_GROUP, NONPIPELINED_CLASSES,
                                     Instruction, OpClass)
@@ -33,6 +33,42 @@ from repro.isa.instructions import (FU_GROUP, NONPIPELINED_CLASSES,
 #: byte address of static instruction 0 (code lives far from data)
 CODE_BASE = 1 << 40
 INST_BYTES = 4
+
+#: dense integer ids for the columnar (struct-of-arrays) kernel engine:
+#: op classes and FU groups numbered in definition order, so per-run
+#: latency and FU tables are plain lists indexed by these ids
+OP_CLASS_ID: Dict[OpClass, int] = {op: i for i, op in enumerate(OpClass)}
+FU_GROUPS: Tuple[str, ...] = tuple(dict.fromkeys(
+    FU_GROUP[op] for op in OpClass))
+CLASS_FU_GID: Tuple[int, ...] = tuple(
+    FU_GROUPS.index(FU_GROUP[op]) for op in OpClass)
+
+
+def predecode_columns(trace: Sequence["DynInst"]) -> Dict[str, List]:
+    """Columnar mirror of the pre-decoded per-instruction metadata.
+
+    Returns parallel plain lists (one entry per dynamic instruction, in
+    trace order) for every field the kernel engine's hot loop indexes by
+    position instead of reaching through ``DynInst`` attributes:
+    fetch-side fields (``pc``, ``code_addr``, ``is_branch``, ``taken``)
+    and issue-side fields (``cid`` — dense :data:`OP_CLASS_ID`, ``gid``
+    — dense FU-group id, ``nonpipelined``, ``n_srcs``).  The columns are
+    configuration-independent, so one predecode serves any number of
+    simulated configurations over the same trace.
+    """
+    class_id = OP_CLASS_ID
+    gid_of = CLASS_FU_GID
+    cid = [class_id[dyn.op_class] for dyn in trace]
+    return {
+        "pc": [dyn.pc for dyn in trace],
+        "code_addr": [dyn.code_addr for dyn in trace],
+        "is_branch": [dyn.is_branch for dyn in trace],
+        "taken": [dyn.taken for dyn in trace],
+        "cid": cid,
+        "gid": [gid_of[c] for c in cid],
+        "nonpipelined": [dyn.nonpipelined for dyn in trace],
+        "n_srcs": [dyn.n_srcs for dyn in trace],
+    }
 
 
 @dataclass(eq=False)

@@ -36,17 +36,66 @@ class OnlineClassifier:
     def observe_rename(self, record: InFlightInst) -> bool:
         """Classify *record* and run one backward-propagation step.
 
-        Returns True when the instruction is Urgent.
+        Returns True when the instruction is Urgent.  Runs once per
+        rename *attempt*, so the UIT lookup is inlined here (counter and
+        LRU-stamp updates identical to :meth:`UrgentInstructionTable.
+        contains`) instead of paying a call per attempt.
         """
         dyn = record.dyn
         pc = dyn.pc
-        urgent = self.uit.contains(pc)
+        uit = self.uit
+        uit.lookups += 1
+        if uit.size is None:
+            urgent = pc in uit._unlimited
+        else:
+            entry = uit._sets[pc % uit.num_sets]
+            if pc in entry:
+                uit._stamp += 1
+                entry[pc] = uit._stamp
+                urgent = True
+            else:
+                urgent = False
         if urgent:
             producer_pcs = self._producer_pc
+            uit_insert = uit.insert
             for reg in dyn.inst.srcs:
                 producer_pc = producer_pcs.get(reg)
                 if producer_pc is not None:
-                    self.uit.insert(producer_pc)
+                    uit_insert(producer_pc)
+        if dyn.has_dst:
+            self._producer_pc[dyn.inst.dst] = pc
+        return urgent
+
+    def classify_dyn(self, dyn) -> bool:
+        """:meth:`observe_rename` keyed by the dynamic instruction alone.
+
+        The classifier never reads timing state off the record, so a
+        rename attempt that is about to fail its capacity checks (and
+        whose record would be discarded unread) can run the exact same
+        UIT lookup/propagation through this entry point without
+        constructing the record at all.  Kept textually in sync with
+        :meth:`observe_rename`.
+        """
+        pc = dyn.pc
+        uit = self.uit
+        uit.lookups += 1
+        if uit.size is None:
+            urgent = pc in uit._unlimited
+        else:
+            entry = uit._sets[pc % uit.num_sets]
+            if pc in entry:
+                uit._stamp += 1
+                entry[pc] = uit._stamp
+                urgent = True
+            else:
+                urgent = False
+        if urgent:
+            producer_pcs = self._producer_pc
+            uit_insert = uit.insert
+            for reg in dyn.inst.srcs:
+                producer_pc = producer_pcs.get(reg)
+                if producer_pc is not None:
+                    uit_insert(producer_pc)
         if dyn.has_dst:
             self._producer_pc[dyn.inst.dst] = pc
         return urgent
@@ -91,6 +140,13 @@ class OracleClassifier:
         self.lookups += 1
         return self.oracle.is_urgent(record.seq, record.dyn.pc,
                                      self.granularity)
+
+    def classify_dyn(self, dyn) -> bool:
+        """Record-free variant of :meth:`observe_rename` (see the
+        online classifier's docstring); ``dyn.seq`` equals the record's
+        ``seq`` by construction."""
+        self.lookups += 1
+        return self.oracle.is_urgent(dyn.seq, dyn.pc, self.granularity)
 
     def on_long_latency_commit(self, pc: int) -> None:
         pass  # oracle already knows

@@ -56,6 +56,11 @@ class LTPController:
         monitor_mode = config.monitor if config.enabled else "off"
         self.monitor = DramTimerMonitor(dram_latency, mode=monitor_mode)
         self.park_stalls = 0
+        #: ``config`` is immutable after ``validate()``; cache the mode
+        #: predicate and bind the classifier hook the rename hot path
+        #: consults on every attempt
+        self._parks_nr = config.parks_nr
+        self._classify = self.classifier.observe_rename
 
     # ------------------------------------------------------------------
     # enable state
@@ -85,16 +90,46 @@ class LTPController:
         return False
 
     def observe_rename(self, record: InFlightInst) -> None:
-        """Classify *record*; set urgency/readiness/ticket state."""
-        record.urgent = self.classifier.observe_rename(record)
-        if self.config.parks_nr:
+        """Classify *record*; set urgency/readiness/ticket state.
+
+        Runs on every rename *attempt* (retried stalls included), so the
+        long-latency prediction is inlined for the common cases: records
+        that are neither loads nor divides keep ``predicted_ll`` at the
+        ``False`` their constructor set, without a predictor call.
+        """
+        record.urgent = self._classify(record)
+        dyn = record.dyn
+        if self._parks_nr:
             self.tickets.inherit(record, record.producer_records)
             record.non_ready = bool(record.tickets)
-            record.predicted_ll = self.predict_long_latency(record)
-            if record.predicted_ll:
+            predicted = (True if dyn.nonpipelined else
+                         dyn.is_load and self.predict_long_latency(record))
+            record.predicted_ll = predicted
+            if predicted:
                 self.tickets.grant(record)
-        else:
+        elif dyn.nonpipelined:
+            record.predicted_ll = True
+        elif dyn.is_load:
             record.predicted_ll = self.predict_long_latency(record)
+
+    def observe_attempt(self, dyn) -> bool:
+        """Replay :meth:`observe_rename`'s observable side effects for
+        a rename attempt whose record is about to be discarded on a
+        capacity stall, without constructing the record.
+
+        Only valid on a *disabled* controller (``parks_nr`` False, so
+        no ticket inheritance): the classifier probe and — for loads —
+        the hit/miss predictor lookup are then the only state the
+        reference attempt mutates; everything else the attempt writes
+        lands on the discarded record.  (The oracle long-latency lookup
+        is a pure list read and is elided.)  Returns the urgency bit so
+        the caller can keep the per-attempt classification counters.
+        """
+        urgent = self.classifier.classify_dyn(dyn)
+        if (self.predictor is not None and dyn.is_load
+                and not dyn.nonpipelined):
+            self.predictor.predict_long_latency(dyn.pc)
+        return urgent
 
     # ------------------------------------------------------------------
     # parking decision

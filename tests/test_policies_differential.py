@@ -18,6 +18,10 @@ nothing for the behaviors that existed before it:
    commits every instruction exactly once, respects structure
    capacities, drains its parking queue, and is invariant to
    idle-span jumping (strict vs. skip execution).
+4. **Kernel-engine bit-identity** — the columnar struct-of-arrays
+   engine (:class:`repro.core.kernel.KernelPipeline`) must reproduce
+   the reference pipeline's full ``SimStats.as_dict()`` over the same
+   grid, for both the LTP policy and the baseline-stall policy.
 """
 
 import json
@@ -252,6 +256,51 @@ def test_every_policy_skip_equivalent(seed):
         mismatches = {key: (fast_sig[key], slow_sig[key])
                       for key in fast_sig if fast_sig[key] != slow_sig[key]}
         assert not mismatches, (name, mismatches)
+
+
+# ================================================================
+# 4. kernel engine == reference engine, full stats
+# ================================================================
+def _engine_stats(engine_cls, policy_name, name, core, ltp,
+                  warmup, measure):
+    """One run through *engine_cls*, full ``as_dict`` statistics."""
+    total = warmup + measure
+    trace = get_trace(name, total)
+    workload = get_workload(name)
+    needs = (policy_needs_oracle(policy_name, ltp)
+             or ltp.classifier == "oracle" or ltp.ll_predictor == "oracle")
+    oracle = get_oracle(name, total, core, trace) if needs else None
+    warmup_slice = trace[:warmup]
+    hierarchy = MemoryHierarchy(core.mem)
+    warm_hierarchy(hierarchy, warmup_slice, len(workload.program),
+                   warm_regions=workload.warm_regions)
+    bpred = GsharePredictor()
+    warm_branch_predictor(bpred, warmup_slice)
+    policy = build_policy(policy_name, ltp, core.mem.dram_latency,
+                          oracle=oracle)
+    policy.warm_from_trace(
+        warmup_slice,
+        oracle.long_latency[:warmup] if oracle is not None else None)
+    pipeline = engine_cls(trace[warmup:], params=core, ltp=ltp,
+                          policy=policy, hierarchy=hierarchy,
+                          branch_predictor=bpred)
+    return pipeline.run().as_dict()
+
+
+@pytest.mark.parametrize("workload", GRID_WORKLOADS)
+@pytest.mark.parametrize("label,ltp", GRID_LTP, ids=[g[0] for g in GRID_LTP])
+def test_kernel_engine_bit_identical_to_reference(workload, label, ltp):
+    """Every statistic the reference produces, the kernel reproduces."""
+    from repro.core.kernel import KernelPipeline
+    for policy_name in ("ltp", "baseline-stall"):
+        ref = _engine_stats(Pipeline, policy_name, workload,
+                            ltp_params(), ltp, 500, 400)
+        ker = _engine_stats(KernelPipeline, policy_name, workload,
+                            ltp_params(), ltp, 500, 400)
+        mismatches = {key: (ref[key], ker.get(key))
+                      for key in ref if ref[key] != ker.get(key)}
+        assert set(ref) == set(ker), (workload, label, policy_name)
+        assert not mismatches, (workload, label, policy_name, mismatches)
 
 
 def test_policies_skip_equivalent_on_real_workloads():
