@@ -14,12 +14,20 @@ nothing.  From the repo root::
     python scripts/ci_sweep.py coordinate --shards 4 --jobs 4 \\
         --store coordinated.jsonl
     python scripts/ci_sweep.py compare merged.jsonl coordinated.jsonl
+    python scripts/ci_sweep.py remote --workers 2 --kill-one \\
+        --store remote.jsonl
+    python scripts/ci_sweep.py daemon --workers 2 --store client.jsonl \\
+        --daemon-store daemon.jsonl
 
 ``coordinate`` drives every shard from one process (the
 ``repro sweep --coordinate`` engine); ``compare`` asserts two stores
 are bit-for-bit interchangeable (same sweep, same keys, identical
 statistics) — CI uses it to prove the coordinated store equals the
-k-invocation shard union.
+k-invocation shard union.  ``remote`` spawns a real ``repro worker``
+fleet as subprocesses and runs the sweep through ``--executor
+remote`` (``--kill-one`` murders a worker after the first landed
+point, proving retry-on-survivors); ``daemon`` spawns a fleet plus a
+``repro serve`` daemon and submits the sweep as a client.
 
 ``--preset``/``--spec``, ``--warmup`` and ``--measure`` select the
 sweep; every subcommand must be given the same values (the store binds
@@ -30,8 +38,12 @@ the spec's ``sweep_id`` and refuses a mismatch).  The driver is plain
 from __future__ import annotations
 
 import argparse
+import os
+import shutil
+import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -166,6 +178,144 @@ def cmd_verify(args) -> int:
     return 0
 
 
+def _repro_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing \
+        else os.pathsep.join([src, existing])
+    return env
+
+
+def _spawn_service(argv_tail, banner):
+    """Start ``python -m repro <argv_tail>``; parse its address line."""
+    proc = subprocess.Popen([sys.executable, "-m", "repro", *argv_tail],
+                            stdout=subprocess.PIPE, text=True,
+                            env=_repro_env())
+    line = (proc.stdout.readline() or "").strip()
+    if not line.startswith(banner):
+        proc.kill()
+        raise RuntimeError(
+            f"service printed {line!r}, expected {banner!r}")
+    return proc, line.rsplit(" ", 1)[-1]
+
+
+def _sweep_argv(args, extra):
+    argv = ["sweep",
+            str(args.spec) if args.spec is not None else args.preset]
+    if args.warmup is not None:
+        argv += ["--warmup", str(args.warmup)]
+    if args.measure is not None:
+        argv += ["--measure", str(args.measure)]
+    if args.engine is not None:
+        argv += ["--engine", args.engine]
+    return argv + extra
+
+
+def _kill_one_mid_sweep(store_path: Path, victim,
+                        timeout: float = 600.0) -> None:
+    """Kill *victim* once the store holds its first landed point."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        lines = 0
+        try:
+            with open(store_path) as handle:
+                lines = sum(1 for line in handle if line.strip())
+        except OSError:
+            pass
+        if lines >= 2:  # the header row plus at least one result
+            victim.kill()
+            print("killed one worker mid-sweep "
+                  f"({lines - 1} point(s) landed)")
+            return
+        time.sleep(0.2)
+    raise RuntimeError("no point landed before the kill timeout")
+
+
+def cmd_remote(args) -> int:
+    """Run the sweep through a spawned ``repro worker`` fleet."""
+    spec = build_spec(args)
+    workers = []
+    with tempfile.TemporaryDirectory() as scratch:
+        try:
+            for i in range(args.workers):
+                proc, addr = _spawn_service(
+                    ["worker", "--listen", "127.0.0.1:0",
+                     "--cache-dir", str(Path(scratch) / f"cache{i}")],
+                    "worker listening on ")
+                workers.append((proc, addr))
+            fleet = ",".join(addr for _, addr in workers)
+            sweep = subprocess.Popen(
+                [sys.executable, "-m", "repro", *_sweep_argv(args, [
+                    "--executor", "remote", "--workers", fleet,
+                    "--max-retries", str(args.max_retries),
+                    "--store", str(args.store), "--no-cache"])],
+                env=_repro_env())
+            if args.kill_one:
+                _kill_one_mid_sweep(args.store, workers[0][0])
+            rc = sweep.wait()
+        finally:
+            for proc, _ in workers:
+                if proc.poll() is None:
+                    proc.kill()
+    if rc != 0:
+        print(f"remote sweep FAILED with exit code {rc}")
+        return 1
+    store = ResultStore(args.store)
+    note = " (one worker killed mid-sweep)" if args.kill_one else ""
+    print(f"remote sweep {spec.sweep_id()} over {args.workers} "
+          f"worker(s){note}: {len(store)} points -> {args.store}")
+    return 0
+
+
+def cmd_daemon(args) -> int:
+    """Submit the sweep to a spawned ``repro serve`` daemon."""
+    spec = build_spec(args)
+    services = []
+    with tempfile.TemporaryDirectory() as scratch:
+        store_dir = Path(scratch) / "stores"
+        try:
+            fleet = []
+            for i in range(args.workers):
+                proc, addr = _spawn_service(
+                    ["worker", "--listen", "127.0.0.1:0",
+                     "--cache-dir", str(Path(scratch) / f"cache{i}")],
+                    "worker listening on ")
+                services.append(proc)
+                fleet.append(addr)
+            serve, address = _spawn_service(
+                ["serve", "--listen", "127.0.0.1:0",
+                 "--workers", ",".join(fleet),
+                 "--store-dir", str(store_dir)],
+                "serve listening on ")
+            services.append(serve)
+            rc = subprocess.call(
+                [sys.executable, "-m", "repro", *_sweep_argv(args, [
+                    "--daemon", address, "--store", str(args.store),
+                    "--no-cache"])],
+                env=_repro_env())
+        finally:
+            for proc in services:
+                if proc.poll() is None:
+                    proc.kill()
+        if rc != 0:
+            print(f"daemon sweep FAILED with exit code {rc}")
+            return 1
+        if args.daemon_store is not None:
+            daemon_stores = sorted(store_dir.glob("sweep-*.jsonl"))
+            if len(daemon_stores) != 1:
+                print(f"expected exactly one daemon-side store, found "
+                      f"{[p.name for p in daemon_stores]}")
+                return 1
+            args.daemon_store.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(daemon_stores[0], args.daemon_store)
+    store = ResultStore(args.store)
+    print(f"daemon sweep {spec.sweep_id()} via {address} over "
+          f"{args.workers} worker(s): {len(store)} points -> "
+          f"{args.store}")
+    return 0
+
+
 def cmd_check_resume(args) -> int:
     """Resuming from a complete store must simulate zero points."""
     spec = build_spec(args)
@@ -220,6 +370,32 @@ def main(argv=None) -> int:
     add_spec_options(verify_p)
     verify_p.add_argument("--store", type=Path, required=True)
     verify_p.set_defaults(func=cmd_verify)
+
+    remote_p = sub.add_parser(
+        "remote",
+        help="run the sweep over a spawned TCP worker fleet")
+    add_spec_options(remote_p)
+    remote_p.add_argument("--workers", type=int, default=2,
+                          help="worker processes to spawn (default 2)")
+    remote_p.add_argument("--max-retries", type=int, default=2)
+    remote_p.add_argument("--kill-one", action="store_true",
+                          help="kill one worker after the first "
+                               "landed point (retry-on-survivors)")
+    remote_p.add_argument("--store", type=Path, required=True)
+    remote_p.set_defaults(func=cmd_remote)
+
+    daemon_p = sub.add_parser(
+        "daemon",
+        help="submit the sweep to a spawned serve daemon as a client")
+    add_spec_options(daemon_p)
+    daemon_p.add_argument("--workers", type=int, default=2,
+                          help="worker processes to spawn (default 2)")
+    daemon_p.add_argument("--store", type=Path, required=True,
+                          help="client-side copy of the results")
+    daemon_p.add_argument("--daemon-store", type=Path, default=None,
+                          help="copy the daemon's own per-sweep store "
+                               "here after the run")
+    daemon_p.set_defaults(func=cmd_daemon)
 
     resume_p = sub.add_parser(
         "check-resume",

@@ -12,12 +12,22 @@ The API layer is organised around four ideas:
 * :class:`ExecutorBackend` — the futures-based execution layer
   (:mod:`repro.api.exec`): ``submit(item) -> SimFuture``,
   ``as_completed()``, lifecycle events, bounded retries, graceful
-  cancellation.  :class:`SerialBackend` / :class:`ProcessPoolBackend`
-  are its in-process and pool executors; :class:`CoordinatorBackend`
-  drives every shard of a sweep from one process
-  (``Session.coordinate`` / ``repro sweep --coordinate``); legacy
-  iterator-style backends are adapted via
+  cancellation.  Concrete executors live in a registry
+  (:mod:`repro.api.executors`) and are selectable **by name** —
+  ``"serial"``, ``"process-pool"``, ``"coordinator"``, ``"remote"``,
+  ``"mock"`` — from :class:`Session`, :class:`SweepSpec` or the CLI's
+  ``--executor`` flag; :func:`build_executor` constructs one.
+  :class:`CoordinatorBackend` drives every shard of a sweep from one
+  process (``Session.coordinate`` / ``repro sweep --coordinate``);
+  legacy iterator-style backends are adapted via
   :class:`LegacyBackendAdapter` (with a ``DeprecationWarning``).
+* Remote execution — :mod:`repro.api.remote`: ``repro worker``
+  processes (:class:`WorkerServer`) simulate configs sent over
+  length-prefixed JSON/TCP, :class:`RemoteExecutor` fans a batch over
+  a worker fleet with heartbeats and bounded retries, and
+  :class:`SweepDaemon` (``repro serve``) multiplexes whole sweeps
+  from concurrent clients (:func:`submit_sweep`) over one fleet with
+  durable per-sweep stores.
 * :class:`SimResult` — typed results with cache provenance and wall
   time, JSON-ready via ``to_dict()``.
 * :class:`ResultStore` — durable, append-only JSONL stores of sweep
@@ -46,8 +56,13 @@ from repro.api.exec import (CoordinatorBackend, ExecEvent,
                             LegacyBackendAdapter, PoolExecutor,
                             SerialExecutor, SimFuture, WorkerFailure,
                             as_executor)
+from repro.api.executors import (build_executor, executor_descriptions,
+                                 executor_names)
+from repro.api.mock import MockExecutor
 from repro.api.registry import (Experiment, experiment, experiment_names,
                                 get_experiment, renderer)
+from repro.api.remote import (RemoteExecutor, SweepDaemon, WorkerFleetError,
+                              WorkerServer, submit_sweep)
 from repro.api.result import SimResult
 from repro.api.session import Session, default_session, set_default_session
 from repro.api.spec import SweepSpec, parse_shard
@@ -67,8 +82,10 @@ __all__ = [
     "ExecutionCancelled",
     "ExecutorBackend",
     "LegacyBackendAdapter",
+    "MockExecutor",
     "PoolExecutor",
     "ProcessPoolBackend",
+    "RemoteExecutor",
     "ResultStore",
     "SerialBackend",
     "SerialExecutor",
@@ -76,12 +93,18 @@ __all__ = [
     "SimConfig",
     "SimFuture",
     "SimResult",
+    "SweepDaemon",
     "SweepSpec",
     "WorkerFailure",
+    "WorkerFleetError",
+    "WorkerServer",
     "as_executor",
     "backend_for_jobs",
+    "build_executor",
     "build_policy",
     "default_session",
+    "executor_descriptions",
+    "executor_names",
     "experiment",
     "experiment_names",
     "get_experiment",
@@ -93,5 +116,6 @@ __all__ = [
     "policy_names",
     "renderer",
     "set_default_session",
+    "submit_sweep",
     "summarize",
 ]

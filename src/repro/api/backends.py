@@ -1,25 +1,28 @@
 """Pluggable execution backends for simulation batches.
 
 Since the submission redesign, the real machinery lives in
-:mod:`repro.api.exec`: executors expose ``submit(item) -> SimFuture``
+:mod:`repro.api.exec` (executors expose ``submit(item) -> SimFuture``
 plus ``as_completed()``, lifecycle events, bounded retries and
-graceful cancellation.  This module keeps the historical names as thin
-subclasses and the original :class:`ExecutionBackend` iterator
-protocol (``execute(session, items) -> outcomes``) as the
-compatibility surface:
+graceful cancellation), and since the executor registry
+(:mod:`repro.api.executors`) the supported way to pick one is **by
+name**: ``build_executor("serial")``, ``Session(backend="remote")``,
+``repro sweep --executor NAME``.  This module registers the two local
+executors and keeps the historical names import-compatible:
 
-* :class:`SerialBackend` — in-process, submission order
+* ``"serial"`` / :class:`SerialBackend` — in-process, submission order
   (:class:`~repro.api.exec.SerialExecutor`).
-* :class:`ProcessPoolBackend` — ``multiprocessing`` fan-out with a
-  tunable dispatch ``chunksize``
+* ``"process-pool"`` / :class:`ProcessPoolBackend` —
+  ``multiprocessing`` fan-out with a tunable dispatch ``chunksize``
   (:class:`~repro.api.exec.PoolExecutor`); trace generation is
   deterministic so each worker regenerates what it needs, and the
   disk cache's atomic replace-on-write keeps concurrent writers safe.
 
-Both satisfy the legacy protocol through the base class's
-``execute()`` shim, so old call sites keep working; third-party
-iterator-style backends (anything with just ``name`` and
-``execute()``) are driven through
+Constructing the classes directly still works but is deprecated in
+favour of the registry (:func:`repro.api.executors.build_executor`),
+which is what :func:`backend_for_jobs` does now.  Both classes satisfy
+the legacy :class:`ExecutionBackend` iterator protocol through the
+base class's ``execute()`` shim; third-party iterator-style backends
+(anything with just ``name`` and ``execute()``) are driven through
 :class:`~repro.api.exec.LegacyBackendAdapter`, which emits a
 ``DeprecationWarning``.
 """
@@ -31,6 +34,7 @@ from typing import (TYPE_CHECKING, Iterator, List, Optional, Protocol,
 
 from repro.api.exec import (Outcome, PoolExecutor, SerialExecutor,
                             WorkItem, _pool_worker)
+from repro.api.executors import build_executor, register_executor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.session import Session
@@ -54,6 +58,7 @@ class ExecutionBackend(Protocol):
         ...  # pragma: no cover - protocol
 
 
+@register_executor("serial", options=("max_retries",))
 class SerialBackend(SerialExecutor):
     """Run every configuration in-process, in submission order."""
 
@@ -61,6 +66,8 @@ class SerialBackend(SerialExecutor):
         return "SerialBackend()"
 
 
+@register_executor("process-pool",
+                   options=("jobs", "chunksize", "max_retries"))
 class ProcessPoolBackend(PoolExecutor):
     """Fan configurations over a ``multiprocessing`` pool.
 
@@ -80,12 +87,16 @@ def backend_for_jobs(jobs: Optional[int],
                      chunksize: Optional[int] = None) -> "ExecutionBackend":
     """The execution backend a ``--jobs N`` style flag selects.
 
-    ``1`` is the plain in-process :class:`SerialBackend`; anything else
+    ``1`` is the plain in-process ``"serial"`` executor; anything else
     (including ``None`` = one worker per CPU and ``0``, its CLI
-    spelling) is a :class:`ProcessPoolBackend`, which itself degrades
-    to serial execution when only one worker or work item remains.
+    spelling) is ``"process-pool"``, which itself degrades to serial
+    execution when only one worker or work item remains.  A thin
+    convenience over the executor registry — callers wanting any other
+    executor (or explicit options) should use
+    :func:`repro.api.executors.build_executor` directly.
     """
     if jobs == 1:
-        return SerialBackend()
-    return ProcessPoolBackend(jobs=None if jobs == 0 else jobs,
-                              chunksize=chunksize)
+        return build_executor("serial")
+    return build_executor("process-pool",
+                          jobs=None if jobs == 0 else jobs,
+                          chunksize=chunksize)

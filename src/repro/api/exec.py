@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from typing import (TYPE_CHECKING, Any, Callable, Deque, Dict, Iterator,
                     List, Optional, Sequence, Tuple)
 
+from repro.api.executors import register_executor
 from repro.api.result import SimResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -682,6 +683,20 @@ class PoolExecutor(ExecutorBackend):
                 f"chunksize={self.chunksize!r})")
 
 
+@register_executor("coordinator",
+                   options=("jobs", "chunksize", "max_retries"))
+class CoordinatorExecutor(PoolExecutor):
+    """The worker pool a coordinated sweep drives (shard-tagged).
+
+    Behaviourally a :class:`PoolExecutor`; registered under its own
+    name so ``--executor coordinator`` selects coordinated execution
+    by name, the conformance suite covers the coordinator's executor,
+    and results record which mode produced them.
+    """
+
+    name = "coordinator"
+
+
 class LegacyBackendAdapter(ExecutorBackend):
     """Drive an iterator-style backend through the submission surface.
 
@@ -821,8 +836,10 @@ class CoordinatorBackend:
     def _build_executor(self) -> ExecutorBackend:
         if self.executor is not None:
             return self.executor
-        return PoolExecutor(jobs=self.jobs, chunksize=self.chunksize,
-                            max_retries=self.max_retries)
+        from repro.api.executors import build_executor
+        return build_executor("coordinator", jobs=self.jobs,
+                              chunksize=self.chunksize,
+                              max_retries=self.max_retries)
 
     def run(self, session: "Session", spec: "SweepSpec",
             store: Optional["ResultStore"] = None,

@@ -1,0 +1,153 @@
+"""A scriptable in-process executor for tests: ``MockExecutor``.
+
+The conformance suite's fault-injection vehicle and the sweep daemon's
+scheduling test double: it implements the full
+:class:`~repro.api.exec.ExecutorBackend` submission protocol —
+lifecycle events, bounded retries, graceful cancellation — but never
+simulates anything.  Results carry fabricated statistics derived from
+the configuration, and a *script* injects latency, failures and
+worker drops per item and per attempt, so retry/exhaustion paths and
+multi-client scheduling can be exercised without real sockets or
+subprocesses.
+
+The script maps a submitted item's **batch index** to a sequence of
+per-attempt directives (the last directive repeats for any further
+attempts):
+
+* ``"ok"`` — succeed;
+* ``"fail"`` / ``("fail", "message")`` — raise a scripted worker
+  error (retried until ``max_retries`` is exhausted, then surfaced
+  as :class:`~repro.api.exec.WorkerFailure`);
+* ``"drop"`` — like ``fail``, but labelled as a lost worker;
+* a number / ``("delay", seconds)`` — sleep that long, then succeed.
+
+Every dispatch is recorded in :attr:`MockExecutor.dispatched`
+(``(index, workload)`` in dispatch order), which is what the daemon's
+fair-scheduling tests assert on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.api.exec import (EVENT_FAILED, EVENT_FINISHED, EVENT_RETRIED,
+                            EVENT_STARTED, ExecutorBackend, SimFuture,
+                            WorkerFailure)
+from repro.api.executors import register_executor
+from repro.api.result import SOURCE_SIMULATED, SimResult
+
+#: one scripted attempt: a directive string, a delay, or a tagged pair
+Directive = Any
+
+
+@register_executor("mock",
+                   options=("script", "max_retries", "latency"))
+class MockExecutor(ExecutorBackend):
+    """Scriptable test double: full executor semantics, no simulation."""
+
+    name = "mock"
+
+    def __init__(self, script: Optional[Mapping[int, Any]] = None,
+                 max_retries: int = 1, latency: float = 0.0) -> None:
+        super().__init__(max_retries=max_retries)
+        #: batch index -> directive or sequence of per-attempt directives
+        self.script: Dict[int, Any] = dict(script or {})
+        #: default per-dispatch sleep (seconds) for unscripted items
+        self.latency = latency
+        #: every dispatch, in order: ``(batch index, workload name)``
+        self.dispatched: List[Tuple[int, str]] = []
+
+    # ------------------------------------------------------------------
+    def _directive(self, index: int, attempt: int) -> Directive:
+        entry = self.script.get(index)
+        if entry is None:
+            return "ok"
+        if isinstance(entry, (str, int, float)) or (
+                isinstance(entry, tuple) and entry
+                and isinstance(entry[0], str)):
+            return entry  # a single directive applies to every attempt
+        directives = list(entry)
+        if not directives:
+            return "ok"
+        return directives[min(attempt - 1, len(directives) - 1)]
+
+    @staticmethod
+    def _interpret(directive: Directive) -> Tuple[str, float, str]:
+        """Normalise a directive to ``(action, delay, error message)``."""
+        if isinstance(directive, (int, float)) and not isinstance(
+                directive, bool):
+            return "ok", float(directive), ""
+        if isinstance(directive, (tuple, list)):
+            tag = str(directive[0])
+            if tag == "delay":
+                return "ok", float(directive[1]), ""
+            if tag in ("fail", "drop"):
+                message = (str(directive[1]) if len(directive) > 1
+                           else f"scripted {tag}")
+                return tag, 0.0, message
+            raise ValueError(f"unknown mock directive {directive!r}")
+        action = str(directive)
+        if action == "ok":
+            return "ok", 0.0, ""
+        if action == "fail":
+            return "fail", 0.0, "scripted failure"
+        if action == "drop":
+            return "drop", 0.0, "scripted worker drop"
+        raise ValueError(f"unknown mock directive {directive!r}")
+
+    def _fabricate(self, future: SimFuture) -> Dict[str, Any]:
+        config = future.config
+        committed = int(config.measure)
+        return {"committed": committed, "cycles": committed,
+                "cpi": 1.0, "ipc": 1.0, "workload": config.workload,
+                "category": "mock"}
+
+    # ------------------------------------------------------------------
+    def as_completed(self) -> Iterator[SimFuture]:
+        self._cancelling = False
+        while self._queue:
+            future = self._queue.popleft()
+            if future.cancelled():
+                yield future
+                continue
+            future._set_running()
+            self._emit(EVENT_STARTED, future)
+            self._resolve(future)
+            yield future
+
+    def _resolve(self, future: SimFuture) -> None:
+        while True:
+            future.attempts += 1
+            self.dispatched.append((future.index,
+                                    future.config.workload))
+            action, delay, error = self._interpret(
+                self._directive(future.index, future.attempts))
+            delay = delay or self.latency
+            if delay:
+                time.sleep(delay)
+            if action == "ok":
+                result = SimResult(config=future.config,
+                                   stats=self._fabricate(future),
+                                   key=future.key,
+                                   source=SOURCE_SIMULATED,
+                                   wall_time_s=delay, backend=self.name)
+                future._set_result(result)
+                self._emit(EVENT_FINISHED, future, source=result.source,
+                           wall_time_s=result.wall_time_s)
+                return
+            if future.attempts <= self.max_retries and \
+                    not self._cancelling:
+                self._emit(EVENT_RETRIED, future, error=error)
+                continue
+            failure = WorkerFailure(
+                f"{future.config.workload} ({future.key}) failed "
+                f"after {future.attempts} attempt(s): {error}",
+                attempts=future.attempts)
+            self._emit(EVENT_FAILED, future, error=error)
+            future._set_exception(failure)
+            return
+
+    def __repr__(self) -> str:
+        return (f"MockExecutor(script={self.script!r}, "
+                f"max_retries={self.max_retries!r})")

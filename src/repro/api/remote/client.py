@@ -1,0 +1,85 @@
+"""The thin client side of the sweep daemon protocol.
+
+:func:`submit_sweep` is what ``repro sweep --daemon HOST:PORT`` runs:
+connect, send one framed ``sweep`` request, then consume the streamed
+reply — ``accepted``, any number of ``event`` / ``result`` frames,
+and a final ``done`` — reconstructing
+:class:`~repro.api.exec.ExecEvent` / :class:`~repro.api.result.
+SimResult` objects from their wire payloads.  The results come back
+in the spec's expansion order, exactly like
+:meth:`Session.sweep <repro.api.session.Session.sweep>`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.api.exec import ExecEvent, WorkerFailure
+from repro.api.remote.protocol import (ProtocolError, connect,
+                                       parse_address, recv_frame,
+                                       send_frame)
+from repro.api.result import SimResult
+from repro.api.spec import SweepSpec
+
+
+def submit_sweep(address: Union[str, tuple], spec: SweepSpec,
+                 use_cache: bool = True,
+                 on_event: Optional[Callable[[ExecEvent], None]] = None,
+                 timeout: Optional[float] = None) -> List[SimResult]:
+    """Run *spec* on the daemon at *address*; return ordered results.
+
+    ``on_event`` receives every streamed lifecycle event (the same
+    :class:`~repro.api.exec.ExecEvent` objects a local progress
+    callback sees).  Raises :class:`~repro.api.exec.WorkerFailure`
+    when the daemon reports failed points, :exc:`RuntimeError` when it
+    rejects the submission, and :exc:`ProtocolError` when the
+    connection drops mid-sweep.
+    """
+    if isinstance(address, str):
+        address = parse_address(address)
+    results: Dict[int, SimResult] = {}
+    sock = connect(address, timeout=timeout)
+    try:
+        send_frame(sock, {"op": "sweep", "spec": spec.to_dict(),
+                          "use_cache": use_cache})
+        points: Optional[int] = None
+        while True:
+            frame = recv_frame(sock)
+            if frame is None:
+                raise ProtocolError(
+                    "daemon closed the connection before the sweep "
+                    "finished")
+            op = frame.get("op")
+            if op == "accepted":
+                points = int(frame["points"])
+            elif op == "event":
+                if on_event is not None:
+                    on_event(ExecEvent(**frame["event"]))
+            elif op == "result":
+                result = SimResult.from_dict(frame["result"])
+                results[int(frame["index"])] = result
+            elif op == "done":
+                failures = int(frame.get("failures", 0))
+                if failures:
+                    raise WorkerFailure(
+                        f"sweep {frame.get('sweep_id')}: {failures} "
+                        f"of {frame.get('points')} point(s) failed "
+                        f"on the daemon")
+                break
+            elif op == "error":
+                raise RuntimeError(
+                    f"daemon rejected the sweep: "
+                    f"{frame.get('error', 'unknown error')}")
+            else:
+                raise ProtocolError(f"unexpected {op!r} frame from "
+                                    f"the daemon")
+    finally:
+        sock.close()
+    if points is None:
+        raise ProtocolError("daemon never acknowledged the sweep")
+    missing = [i for i in range(points) if i not in results]
+    if missing:
+        raise ProtocolError(
+            f"daemon reported success but {len(missing)} point(s) "
+            f"never arrived (first missing index {missing[0]})")
+    return [results[i] for i in range(points)]

@@ -1,0 +1,401 @@
+"""The ``repro serve`` sweep daemon: one fleet, many clients.
+
+A :class:`SweepDaemon` is a long-lived server that accepts
+:class:`~repro.api.spec.SweepSpec` submissions from any number of
+concurrent clients and multiplexes them over **one** executor — by
+default a :class:`~repro.api.remote.executor.RemoteExecutor` over a
+static worker fleet, but any registered executor works (the tests
+inject a :class:`~repro.api.mock.MockExecutor`).
+
+Scheduling is fair round-robin: a single scheduler thread repeatedly
+collects a mini-batch by taking one pending point from each active
+sweep in rotation (the rotation origin advances between batches, so
+no sweep is systematically first), drives the batch through the
+executor, and streams every lifecycle event and landed result back
+over the submitting client's connection as framed ``event`` /
+``result`` messages.  A client disconnecting mid-sweep does not stop
+its sweep — the points keep landing in the store (submit-and-forget).
+
+Durability: with a ``store_dir``, each sweep persists into the
+append-only ``sweep-<id>.jsonl`` the directory's
+:meth:`~repro.api.store.ResultStore.for_sweep` names.  Points are
+appended as they land, and a submission first serves everything the
+store already holds — so killing the daemon and restarting it against
+the same directory resumes every sweep from whatever landed
+(re-submitting a completed sweep simulates nothing).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.api.exec import ExecutorBackend
+from repro.api.remote.protocol import (ProtocolError, recv_frame,
+                                       send_frame)
+from repro.api.result import SOURCE_STORE, SimResult
+from repro.api.spec import SweepSpec
+from repro.api.store import ResultStore
+from repro.harness.config import SimConfig
+
+#: a client-facing frame sink (``None`` = submit-and-forget)
+FrameSink = Callable[[Dict[str, Any]], None]
+
+
+class _SweepJob:
+    """One submitted sweep's scheduling state inside the daemon."""
+
+    def __init__(self, spec: SweepSpec, configs: List[SimConfig],
+                 use_cache: bool, sink: Optional[FrameSink],
+                 store: Optional[ResultStore]) -> None:
+        self.spec = spec
+        self.sweep_id = spec.sweep_id()
+        self.configs = configs
+        self.use_cache = use_cache
+        self.store = store
+        #: results served straight from the store at submission
+        self.stored: List[Tuple[int, SimResult]] = []
+        #: (expansion index, config) not yet handed to the executor
+        self.pending: "Deque[Tuple[int, SimConfig]]" = deque()
+        self.inflight = 0
+        self.completed = 0
+        self.failures = 0
+        self.done = threading.Event()
+        self._sink = sink
+        self._sink_lock = threading.Lock()
+
+    def emit(self, frame: Dict[str, Any]) -> None:
+        """Stream one frame to the client (dropped once it is gone)."""
+        with self._sink_lock:
+            if self._sink is None:
+                return
+            try:
+                self._sink(frame)
+            except (OSError, ProtocolError):
+                # the client went away; the sweep keeps running and
+                # persisting — submit-and-forget semantics
+                self._sink = None
+
+
+class SweepDaemon:
+    """Serve sweeps over one worker fleet with fair scheduling."""
+
+    def __init__(self, workers: Any = (),
+                 host: str = "127.0.0.1", port: int = 0,
+                 store_dir: Optional[str] = None,
+                 executor: Optional[ExecutorBackend] = None,
+                 batch_size: int = 8, max_retries: int = 1,
+                 listen: bool = True) -> None:
+        if executor is None:
+            from repro.api.remote.executor import RemoteExecutor
+            executor = RemoteExecutor(workers, max_retries=max_retries)
+        self.executor = executor
+        self.batch_size = max(1, batch_size)
+        self.store_dir = store_dir
+        self._stores: Dict[str, ResultStore] = {}
+        self._store_lock = threading.Lock()
+        #: active jobs, in submission order; guarded by ``_wake``
+        self._jobs: List[_SweepJob] = []
+        self._rotation = 0
+        self._wake = threading.Condition()
+        self._stopping = threading.Event()
+        self._scheduler: Optional[threading.Thread] = None
+        self._sock: Optional[socket.socket] = None
+        self.address: Optional[Tuple[str, int]] = None
+        if listen:
+            self._sock = socket.socket(socket.AF_INET,
+                                       socket.SOCK_STREAM)
+            self._sock.setsockopt(socket.SOL_SOCKET,
+                                  socket.SO_REUSEADDR, 1)
+            self._sock.bind((host, port))
+            self._sock.listen()
+            self.address = self._sock.getsockname()[:2]
+
+    # ------------------------------------------------------------------
+    # lifetime
+    # ------------------------------------------------------------------
+    def start(self) -> "SweepDaemon":
+        """Run the scheduler (and accept loop) in daemon threads."""
+        self._start_scheduler()
+        if self._sock is not None:
+            threading.Thread(target=self._accept_loop,
+                             name="repro-serve-accept",
+                             daemon=True).start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking entry point for the ``repro serve`` CLI."""
+        self._start_scheduler()
+        self._accept_loop()
+
+    def _start_scheduler(self) -> None:
+        if self._scheduler is None:
+            self._scheduler = threading.Thread(
+                target=self._schedule_loop, name="repro-serve-scheduler",
+                daemon=True)
+            self._scheduler.start()
+
+    def close(self) -> None:
+        """Stop serving; unfinished jobs finish as failed."""
+        self._stopping.set()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        with self._wake:
+            jobs, self._jobs = list(self._jobs), []
+            self._wake.notify_all()
+        for job in jobs:
+            job.failures += len(job.pending) + job.inflight
+            self._finish(job)
+        with self._store_lock:
+            for store in self._stores.values():
+                store.close()
+
+    def __enter__(self) -> "SweepDaemon":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # submission (embedded API; the socket handler calls these too)
+    # ------------------------------------------------------------------
+    def _store_for(self, spec: SweepSpec) -> Optional[ResultStore]:
+        if self.store_dir is None:
+            return None
+        sweep_id = spec.sweep_id()
+        with self._store_lock:
+            store = self._stores.get(sweep_id)
+            if store is None:
+                store = ResultStore.for_sweep(self.store_dir, sweep_id)
+                store.bind(sweep_id).touch()
+                self._stores[sweep_id] = store
+            return store
+
+    def prepare(self, spec: SweepSpec, use_cache: bool = True,
+                sink: Optional[FrameSink] = None) -> _SweepJob:
+        """Validate and expand a submission; serve stored points.
+
+        Returns the job *without* scheduling it — the caller streams
+        ``accepted``/stored-result frames first, then calls
+        :meth:`activate` (frame order on the client connection stays
+        deterministic: accepted, stored results, then live events).
+        """
+        spec.validate()
+        configs = spec.expand()
+        store = self._store_for(spec)
+        job = _SweepJob(spec, configs, use_cache, sink, store)
+        for index, config in enumerate(configs):
+            key = config.key()
+            stored = store.get(key) if store is not None else None
+            if stored is not None:
+                job.stored.append((index, SimResult(
+                    config=config, stats=stored.stats, key=key,
+                    source=SOURCE_STORE, wall_time_s=0.0,
+                    backend="store")))
+            else:
+                job.pending.append((index, config))
+        return job
+
+    def activate(self, job: _SweepJob) -> _SweepJob:
+        """Hand a prepared job to the scheduler (or finish it)."""
+        with self._wake:
+            if job.pending:
+                self._jobs.append(job)
+                self._wake.notify_all()
+                return job
+        self._finish(job)
+        return job
+
+    def submit(self, spec: SweepSpec, use_cache: bool = True,
+               sink: Optional[FrameSink] = None) -> _SweepJob:
+        """Submit a sweep (embedded entry point); returns its job.
+
+        Stored points stream as ``result`` frames immediately; wait on
+        ``job.done`` for completion.
+        """
+        job = self.prepare(spec, use_cache=use_cache, sink=sink)
+        for index, result in job.stored:
+            job.emit({"op": "result", "index": index,
+                      "result": result.to_dict()})
+        return self.activate(job)
+
+    def _finish(self, job: _SweepJob) -> None:
+        job.emit({"op": "done", "sweep_id": job.sweep_id,
+                  "points": len(job.configs),
+                  "completed": job.completed + len(job.stored),
+                  "failures": job.failures})
+        job.done.set()
+
+    # ------------------------------------------------------------------
+    # the scheduler
+    # ------------------------------------------------------------------
+    def _schedule_loop(self) -> None:
+        while not self._stopping.is_set():
+            batch = self._collect_batch()
+            if not batch:
+                with self._wake:
+                    if not any(job.pending for job in self._jobs):
+                        self._wake.wait(timeout=0.1)
+                continue
+            self._run_batch(batch)
+
+    def _collect_batch(self) -> List[Tuple[_SweepJob, int, SimConfig]]:
+        """Take up to ``batch_size`` points, one per job per round.
+
+        Strict round-robin across the active jobs: each pass of the
+        inner loop takes at most one point from every job with pending
+        work, so a 90-point sweep cannot starve a 4-point one.  The
+        rotation origin advances between batches.
+        """
+        batch: List[Tuple[_SweepJob, int, SimConfig]] = []
+        with self._wake:
+            active = [job for job in self._jobs if job.pending]
+            if not active:
+                return batch
+            origin = self._rotation % len(active)
+            order = active[origin:] + active[:origin]
+            self._rotation += 1
+            while len(batch) < self.batch_size and \
+                    any(job.pending for job in order):
+                for job in order:
+                    if not job.pending:
+                        continue
+                    index, config = job.pending.popleft()
+                    job.inflight += 1
+                    batch.append((job, index, config))
+                    if len(batch) >= self.batch_size:
+                        break
+        return batch
+
+    def _run_batch(self,
+                   batch: List[Tuple[_SweepJob, int, SimConfig]]) -> None:
+        """Drive one mini-batch through the shared executor."""
+        executor = self.executor
+        index_map: Dict[int, Tuple[_SweepJob, int]] = {}
+        landed: set = set()
+
+        def relay(event) -> None:
+            target = index_map.get(event.index)
+            if target is None:
+                return
+            job, sweep_index = target
+            payload = event.to_dict()
+            payload["index"] = sweep_index  # the job's expansion index
+            job.emit({"op": "event", "event": payload})
+
+        executor.add_progress_callback(relay)
+        try:
+            for n, (job, index, config) in enumerate(batch):
+                index_map[n] = (job, index)
+                executor.submit((n, config, job.use_cache))
+            for future in executor.as_completed():
+                job, index = index_map[future.index]
+                landed.add(future.index)
+                self._land(job, index, future)
+        except Exception as exc:  # noqa: BLE001 - daemon must survive
+            # e.g. the whole fleet is unreachable: fail this batch's
+            # remaining items, keep serving (the next batch retries
+            # the connections from scratch)
+            executor.cancel_all()
+            for _ in executor.as_completed():
+                pass
+            for n, (job, index, config) in enumerate(batch):
+                if n not in landed:
+                    job.failures += 1
+                    job.emit({"op": "event", "event": {
+                        "kind": "failed", "index": index,
+                        "key": config.key(),
+                        "workload": config.workload, "attempt": 0,
+                        "error": str(exc)}})
+                    self._account(job)
+        finally:
+            executor.remove_progress_callback(relay)
+
+    def _land(self, job: _SweepJob, index: int, future) -> None:
+        if future.cancelled() or future.exception() is not None:
+            job.failures += 1
+        else:
+            result = future.result()
+            if job.store is not None:
+                with self._store_lock:
+                    job.store.add(result)
+            job.completed += 1
+            job.emit({"op": "result", "index": index,
+                      "result": result.to_dict()})
+        self._account(job)
+
+    def _account(self, job: _SweepJob) -> None:
+        finished = False
+        with self._wake:
+            job.inflight -= 1
+            if not job.pending and job.inflight == 0:
+                if job in self._jobs:
+                    self._jobs.remove(job)
+                finished = True
+        if finished:
+            self._finish(job)
+
+    # ------------------------------------------------------------------
+    # the socket surface
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._sock is not None
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            threading.Thread(target=self._serve_connection,
+                             args=(conn,), name="repro-serve-conn",
+                             daemon=True).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            try:
+                frame = recv_frame(conn)
+            except (ProtocolError, OSError):
+                return
+            if frame is None:
+                return
+            op = frame.get("op")
+            try:
+                if op == "ping":
+                    send_frame(conn, {"op": "pong", "ok": True})
+                    return
+                if op != "sweep":
+                    send_frame(conn, {"op": "error", "ok": False,
+                                      "error": f"unknown op {op!r}"})
+                    return
+                self._serve_sweep(conn, frame)
+            except OSError:
+                return  # client went away; the job keeps running
+
+    def _serve_sweep(self, conn: socket.socket,
+                     frame: Dict[str, Any]) -> None:
+        try:
+            spec = SweepSpec.from_dict(frame.get("spec") or {})
+        except (ValueError, TypeError, KeyError) as exc:
+            send_frame(conn, {"op": "error", "ok": False,
+                              "error": f"bad sweep spec: {exc}"})
+            return
+        job = self.prepare(spec,
+                           use_cache=bool(frame.get("use_cache", True)),
+                           sink=lambda payload:
+                               send_frame(conn, payload))
+        # deterministic client-side order: accepted, stored results,
+        # then live event/result frames once the scheduler has the job
+        send_frame(conn, {"op": "accepted", "ok": True,
+                          "sweep_id": job.sweep_id,
+                          "points": len(job.configs),
+                          "stored": len(job.stored)})
+        for index, result in job.stored:
+            send_frame(conn, {"op": "result", "index": index,
+                              "result": result.to_dict()})
+        self.activate(job)
+        job.done.wait()

@@ -1,0 +1,289 @@
+"""``RemoteExecutor``: dispatch submitted configs over a worker fleet.
+
+Registered as ``"remote"``.  A static list of ``HOST:PORT`` worker
+addresses becomes one :class:`~repro.api.exec.ExecutorBackend`: each
+drive (`as_completed`) connects one link per reachable worker, runs a
+dispatcher thread per link that pops queued futures and round-trips
+them as framed ``run`` requests, and funnels every dispatcher
+observation through a single message queue back to the driving thread
+— so lifecycle events keep their exactly-once guarantees and are
+delivered on the thread iterating ``as_completed()``, exactly like
+the local executors.
+
+Failure semantics:
+
+* a worker answering ``ok: false`` (the simulation raised) costs a
+  bounded retry (``max_retries``), re-queued so any healthy worker —
+  not necessarily the failing one — picks it up;
+* a worker going silent longer than ``heartbeat_timeout`` (workers
+  heartbeat every couple of seconds while simulating) or dropping the
+  connection marks the *link* dead: its in-flight item is retried on
+  the surviving links and the dead link dispatches nothing more this
+  drive (the next drive reconnects from scratch);
+* when retries are exhausted — or no links survive — the item's
+  future resolves with :class:`~repro.api.exec.WorkerFailure`; a
+  drive that cannot reach *any* worker raises
+  :class:`WorkerFleetError` instead of failing items one by one.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.api.exec import (EVENT_FAILED, EVENT_FINISHED, EVENT_RETRIED,
+                            EVENT_STARTED, ExecutorBackend, SimFuture,
+                            WorkerFailure)
+from repro.api.executors import register_executor
+from repro.api.remote.protocol import (ProtocolError, connect,
+                                       format_address, parse_address,
+                                       recv_frame, send_frame)
+from repro.api.result import SimResult
+
+WorkerAddress = Union[str, Tuple[str, int]]
+
+
+class WorkerFleetError(RuntimeError):
+    """No worker of the configured fleet is reachable."""
+
+
+class _WorkerLink:
+    """One live connection to one worker."""
+
+    def __init__(self, address: Tuple[str, int],
+                 connect_timeout: float,
+                 heartbeat_timeout: float) -> None:
+        self.address = address
+        self.label = format_address(address)
+        self.connect_timeout = connect_timeout
+        self.heartbeat_timeout = heartbeat_timeout
+        self._sock: Optional[socket.socket] = None
+
+    def open(self) -> bool:
+        """Connect and ping; ``False`` when the worker is unreachable."""
+        try:
+            sock = connect(self.address, timeout=self.connect_timeout)
+            sock.settimeout(self.heartbeat_timeout)
+            send_frame(sock, {"op": "ping"})
+            reply = recv_frame(sock)
+            if reply is None or not reply.get("ok"):
+                sock.close()
+                return False
+        except (OSError, ProtocolError):
+            return False
+        self._sock = sock
+        return True
+
+    def run(self, future: SimFuture) -> dict:
+        """Round-trip one config; heartbeats reset the silence clock."""
+        assert self._sock is not None
+        send_frame(self._sock, {
+            "op": "run", "id": future.key,
+            "config": future.config.to_dict(),
+            "use_cache": future.use_cache})
+        while True:
+            frame = recv_frame(self._sock)
+            if frame is None:
+                raise ProtocolError(
+                    f"worker {self.label} closed the connection "
+                    f"mid-run")
+            if frame.get("op") == "heartbeat":
+                continue  # still simulating; the timeout restarts
+            return frame
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+
+@register_executor("remote",
+                   options=("workers", "max_retries", "connect_timeout",
+                            "heartbeat_timeout"))
+class RemoteExecutor(ExecutorBackend):
+    """Fan submitted configurations over TCP simulation workers."""
+
+    name = "remote"
+
+    def __init__(self, workers: Sequence[WorkerAddress] = (),
+                 max_retries: int = 1,
+                 connect_timeout: float = 5.0,
+                 heartbeat_timeout: float = 15.0) -> None:
+        super().__init__(max_retries=max_retries)
+        if isinstance(workers, str):
+            workers = [part for part in workers.split(",") if part]
+        self.addresses: List[Tuple[str, int]] = []
+        for worker in workers:
+            if isinstance(worker, str):
+                self.addresses.append(parse_address(worker))
+            else:
+                host, port = worker
+                self.addresses.append((str(host), int(port)))
+        if not self.addresses:
+            raise ValueError(
+                "the remote executor needs at least one worker "
+                "address (workers=[\"HOST:PORT\", ...]; start them "
+                "with `repro worker --listen HOST:PORT`)")
+        self.connect_timeout = connect_timeout
+        self.heartbeat_timeout = heartbeat_timeout
+
+    # ------------------------------------------------------------------
+    def as_completed(self) -> Iterator[SimFuture]:
+        total = len(self._queue)
+        if total == 0:
+            return
+        self._cancelling = False
+        if all(future.cancelled() for future in self._queue):
+            # nothing left to execute (Session._drive's failure path
+            # re-drains after cancel_all): no sockets needed
+            while self._queue:
+                yield self._queue.popleft()
+            return
+        yield from self._drive(total)
+
+    def _drive(self, total: int) -> Iterator[SimFuture]:
+        links = [_WorkerLink(address, self.connect_timeout,
+                             self.heartbeat_timeout)
+                 for address in self.addresses]
+        links = [link for link in links if link.open()]
+        if not links:
+            fleet = ", ".join(format_address(a) for a in self.addresses)
+            raise WorkerFleetError(
+                f"none of the {len(self.addresses)} configured "
+                f"worker(s) are reachable: {fleet}")
+
+        messages: "queue.SimpleQueue" = queue.SimpleQueue()
+        work = threading.Condition()
+        stop = threading.Event()
+        alive = len(links)
+        threads = [threading.Thread(
+            target=self._serve_link, args=(link, messages, work, stop),
+            name=f"repro-remote-{link.label}", daemon=True)
+            for link in links]
+        for thread in threads:
+            thread.start()
+
+        yielded = 0
+        try:
+            while yielded < total:
+                kind, future, payload = messages.get()
+                if kind == "dispatch":
+                    # first dispatch = the item started; redispatches
+                    # already emitted their `retried` event
+                    if future.attempts == 0 and not future.cancelled():
+                        future.attempts = 1
+                        future._set_running()
+                        self._emit(EVENT_STARTED, future)
+                    continue
+                if kind == "drop":  # cancelled before dispatch
+                    yield future
+                    yielded += 1
+                    continue
+                if kind == "lost":
+                    alive -= 1
+                if future.cancelled():
+                    # cancelled between the dispatcher's pop and now:
+                    # the `cancelled` event already fired, so discard
+                    # the outcome rather than double-resolving
+                    yield future
+                    yielded += 1
+                elif kind == "done":
+                    stats, wall, source = payload
+                    result = SimResult(
+                        config=future.config, stats=stats,
+                        key=future.key, source=source,
+                        wall_time_s=wall, backend=self.name)
+                    future._set_result(result)
+                    self._emit(EVENT_FINISHED, future, source=source,
+                               wall_time_s=wall)
+                    yield future
+                    yielded += 1
+                else:  # "error" or "lost": retry or surface
+                    if (future.attempts <= self.max_retries
+                            and alive > 0 and not self._cancelling):
+                        self._emit(EVENT_RETRIED, future, error=payload)
+                        future.attempts += 1
+                        with work:
+                            self._queue.append(future)
+                            work.notify()
+                    else:
+                        yield self._fail(future, payload)
+                        yielded += 1
+                if alive == 0 and yielded < total:
+                    # fleet collapsed: nothing queued can ever run
+                    for pending in self._collapse():
+                        yield pending
+                        yielded += 1
+        finally:
+            stop.set()
+            with work:
+                work.notify_all()
+            for link in links:
+                link.close()
+            for thread in threads:
+                thread.join(timeout=2.0)
+
+    def _fail(self, future: SimFuture, error: str) -> SimFuture:
+        failure = WorkerFailure(
+            f"{future.config.workload} ({future.key}) failed after "
+            f"{future.attempts} attempt(s): {error}",
+            attempts=future.attempts)
+        self._emit(EVENT_FAILED, future, error=error)
+        future._set_exception(failure)
+        return future
+
+    def _collapse(self) -> Iterator[SimFuture]:
+        """Resolve everything still queued once no links survive."""
+        while self._queue:
+            pending = self._queue.popleft()
+            if pending.cancelled() or pending.done():
+                yield pending
+                continue
+            yield self._fail(pending, "no reachable workers left")
+
+    def _serve_link(self, link: _WorkerLink, messages, work,
+                    stop: threading.Event) -> None:
+        """Dispatcher thread: pop queued futures, round-trip them."""
+        while not stop.is_set():
+            with work:
+                try:
+                    future = self._queue.popleft()
+                except IndexError:
+                    work.wait(timeout=0.05)
+                    continue
+            if future.cancelled():
+                messages.put(("drop", future, None))
+                continue
+            messages.put(("dispatch", future, None))
+            try:
+                frame = link.run(future)
+            except (OSError, ProtocolError) as exc:
+                link.close()
+                messages.put((
+                    "lost", future,
+                    f"worker {link.label} lost: {exc}"))
+                return  # this link is done for the drive
+            if frame.get("op") != "done":
+                link.close()
+                messages.put((
+                    "lost", future,
+                    f"worker {link.label} sent unexpected "
+                    f"{frame.get('op')!r} frame"))
+                return
+            if frame.get("ok"):
+                messages.put(("done", future, (
+                    frame.get("stats") or {},
+                    float(frame.get("wall_time_s", 0.0)),
+                    str(frame.get("source", "simulated")))))
+            else:
+                messages.put(("error", future,
+                              str(frame.get("error", "worker error"))))
+
+    def __repr__(self) -> str:
+        fleet = ",".join(format_address(a) for a in self.addresses)
+        return f"RemoteExecutor(workers=[{fleet}])"

@@ -51,6 +51,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.store import ResultStore
 
 
+def _as_backend(backend: Any) -> Any:
+    """Resolve registered executor names to backend instances.
+
+    Everywhere a backend is accepted, a string names one from
+    :mod:`repro.api.executors` — ``Session(backend="process-pool")``
+    and ``session.run_many(..., backend="serial")`` both work.
+    """
+    if isinstance(backend, str):
+        from repro.api.executors import build_executor
+        return build_executor(backend)
+    return backend
+
+
 class Session:
     """Owns simulation caches and executes configurations.
 
@@ -61,7 +74,9 @@ class Session:
         ``REPRO_CACHE_DIR`` or the repo-root ``.simcache``.
     backend:
         Default :class:`ExecutionBackend` for :meth:`run_many` /
-        :meth:`sweep` (``SerialBackend`` when omitted).
+        :meth:`sweep` (``SerialBackend`` when omitted).  A string
+        names a registered executor
+        (:func:`repro.api.executors.build_executor`).
     trace_cache_size / oracle_cache_size:
         LRU caps of the in-process memoisation caches.
     """
@@ -73,7 +88,8 @@ class Session:
         if trace_cache_size <= 0 or oracle_cache_size <= 0:
             raise ValueError("cache sizes must be positive")
         self.results = ResultCache(cache_dir)
-        self.backend: ExecutionBackend = backend or SerialBackend()
+        self.backend: ExecutionBackend = \
+            _as_backend(backend) or SerialBackend()
         self.trace_cache_size = trace_cache_size
         self.oracle_cache_size = oracle_cache_size
         #: workload name -> (max length ever requested, longest trace);
@@ -357,8 +373,10 @@ class Session:
         configurations are resolved in-process; each distinct remaining
         configuration is simulated exactly once and duplicates share the
         primary's statistics.  *backend* may be a futures-style
-        :class:`~repro.api.exec.ExecutorBackend` or a legacy
-        iterator-style backend (adapted, with a ``DeprecationWarning``);
+        :class:`~repro.api.exec.ExecutorBackend`, a registered executor
+        name (``"serial"``, ``"process-pool"``, ``"remote"``, …), or a
+        legacy iterator-style backend (adapted, with a
+        ``DeprecationWarning``);
         *progress* receives every :class:`~repro.api.exec.ExecEvent`.
 
         With a :class:`~repro.api.store.ResultStore`, points whose keys
@@ -368,7 +386,8 @@ class Session:
         all completed points, so re-running resumes where it stopped.
         """
         config_list = list(configs)
-        return self._drive(backend or self.backend, config_list,
+        return self._drive(_as_backend(backend) or self.backend,
+                           config_list,
                            [(index, None)
                             for index in range(len(config_list))],
                            use_cache=use_cache, store=store,
@@ -391,6 +410,10 @@ class Session:
         spec's :meth:`~repro.api.spec.SweepSpec.sweep_id` so resuming
         with a different spec fails fast.
         """
+        if backend is None and spec.executor is not None:
+            # the spec's preference holds only when the caller did not
+            # choose; resolved by name so specs stay JSON-serializable
+            backend = spec.executor
         if shard is not None:
             index, count = shard
             configs = spec.shard(index, count)

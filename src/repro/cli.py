@@ -18,7 +18,19 @@ Commands:
   (``--merge``), live progress (``--progress``; with ``--json`` the
   document carries the full lifecycle-event log), and ``--coordinate``
   — drive *all* ``--shards K`` partitions from this one process over
-  a worker pool instead of launching K CLI invocations.
+  a worker pool instead of launching K CLI invocations.  Execution is
+  selected by registered executor name (``--executor`` +
+  ``--workers`` for the TCP fleet) or submitted to a sweep daemon
+  (``--daemon HOST:PORT``).
+* ``worker`` — serve simulations over TCP: accepts serialized
+  configurations from ``--executor remote`` dispatchers (or a sweep
+  daemon's fleet) and answers with results, heartbeating during long
+  runs.  Prints ``worker listening on HOST:PORT`` once bound.
+* ``serve`` — the sweep daemon: accepts whole ``SweepSpec``
+  submissions from concurrent clients, multiplexes them over one
+  ``--workers`` fleet with fair round-robin scheduling, and persists
+  landed points to per-sweep stores under ``--store-dir`` (resumable
+  across restarts).
 
 ``run``/sweep specs select an allocation policy (``--policy`` /
 ``SimConfig.policy`` / a ``"policy"`` sweep axis) from the
@@ -39,11 +51,14 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.api import (CoordinatorBackend, ResultStore, SweepSpec,
+from repro.api import (CoordinatorBackend, ResultStore, Session,
+                       SweepDaemon, SweepSpec, WorkerServer,
                        backend_for_jobs, default_session,
-                       experiment_names, get_experiment, ltp_preset,
-                       ltp_preset_names, merge_stores, parse_shard,
-                       summarize)
+                       executor_names, experiment_names, get_experiment,
+                       ltp_preset, ltp_preset_names, merge_stores,
+                       parse_shard, submit_sweep, summarize)
+from repro.api.executors import executor_from_options
+from repro.api.remote.protocol import format_address, parse_address
 from repro.core.params import baseline_params, ltp_params
 from repro.harness.config import DEFAULT_ENGINE, ENGINES, SimConfig
 from repro.harness.experiments import (resolve_sweep_spec,
@@ -107,8 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--list", action="store_true",
                        help="list the registered experiments and exit")
     exp_p.add_argument("--jobs", "-j", type=int, default=1,
-                       help="worker processes for the sweep (default 1; "
-                            "0 = one per CPU)")
+                       help="worker processes for the experiment's "
+                            "sweeps (default 1 = the serial executor; "
+                            "0 = one per CPU; >1 selects the "
+                            "process-pool executor)")
     exp_p.add_argument("--json", action="store_true",
                        help="emit the raw result document as JSON")
 
@@ -144,11 +161,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="partition count for --coordinate "
                               "(default: the worker count)")
     sweep_p.add_argument("--jobs", "-j", type=int, default=1,
-                         help="worker processes (default 1; 0 = one "
-                              "per CPU)")
+                         help="worker processes for the sweep "
+                              "(default 1 = the serial executor; "
+                              "0 = one per CPU; >1 selects the "
+                              "process-pool executor)")
     sweep_p.add_argument("--chunksize", type=int, default=None,
                          help="work items per pool round trip "
                               "(default: auto)")
+    sweep_p.add_argument("--executor", choices=executor_names(),
+                         default=None,
+                         help="run through a registered executor "
+                              "(default: serial, or process-pool when "
+                              "--jobs > 1)")
+    sweep_p.add_argument("--workers", default=None,
+                         metavar="HOST:PORT,...",
+                         help="comma-separated worker fleet for "
+                              "--executor remote (start workers with "
+                              "'repro worker')")
+    sweep_p.add_argument("--max-retries", type=int, default=None,
+                         metavar="N",
+                         help="re-dispatch attempts per failed point "
+                              "(default 1)")
+    sweep_p.add_argument("--daemon", default=None, metavar="HOST:PORT",
+                         help="submit the sweep to a 'repro serve' "
+                              "daemon instead of executing locally")
     sweep_p.add_argument("--warmup", type=int, default=None,
                          help="warmup instruction budget per point")
     sweep_p.add_argument("--measure", type=int, default=None,
@@ -163,6 +199,45 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--json", action="store_true",
                          help="emit the sweep document as JSON "
                               "(includes the lifecycle-event log)")
+
+    worker_p = sub.add_parser(
+        "worker", help="serve simulations over TCP for --executor "
+                       "remote / a sweep daemon")
+    worker_p.add_argument("--listen", default="127.0.0.1:0",
+                          metavar="HOST:PORT",
+                          help="bind address (port 0 = ephemeral; the "
+                               "resolved address is printed)")
+    worker_p.add_argument("--cache-dir", default=None,
+                          help="disk result-cache directory for this "
+                               "worker's session")
+    worker_p.add_argument("--heartbeat", type=float, default=2.0,
+                          metavar="SECONDS",
+                          help="heartbeat interval while simulating "
+                               "(default 2.0)")
+
+    serve_p = sub.add_parser(
+        "serve", help="sweep daemon: accept SweepSpec submissions and "
+                      "run them over a worker fleet")
+    serve_p.add_argument("--listen", default="127.0.0.1:0",
+                         metavar="HOST:PORT",
+                         help="bind address (port 0 = ephemeral; the "
+                              "resolved address is printed)")
+    serve_p.add_argument("--workers", required=True,
+                         metavar="HOST:PORT,...",
+                         help="comma-separated addresses of the "
+                              "'repro worker' fleet to dispatch to")
+    serve_p.add_argument("--store-dir", type=Path, default=None,
+                         help="directory of per-sweep result stores "
+                              "(sweep-<id>.jsonl; makes sweeps "
+                              "resumable across daemon restarts)")
+    serve_p.add_argument("--batch-size", type=int, default=8,
+                         metavar="N",
+                         help="points in flight per scheduling round "
+                              "(default 8)")
+    serve_p.add_argument("--max-retries", type=int, default=1,
+                         metavar="N",
+                         help="re-dispatch attempts per failed point "
+                              "(default 1)")
     return parser
 
 
@@ -367,6 +442,39 @@ def cmd_sweep(args, out) -> int:
         print("--shards only applies to --coordinate (to run a single "
               "partition of the sweep, use --shard i/k)", file=out)
         return 2
+    if args.daemon is not None:
+        contradictory = [
+            ("--executor", args.executor is not None),
+            ("--jobs", args.jobs != 1),
+            ("--chunksize", args.chunksize is not None),
+            ("--workers", args.workers is not None),
+            ("--max-retries", args.max_retries is not None),
+            ("--shard", args.shard is not None),
+            ("--coordinate", args.coordinate),
+            ("--shards", args.shards is not None),
+        ]
+        clashing = [flag for flag, given in contradictory if given]
+        if clashing:
+            print(f"--daemon submits the sweep to a remote server, "
+                  f"which decides execution itself; drop "
+                  f"{', '.join(clashing)}", file=out)
+            return 2
+    if args.coordinate and args.executor not in (None, "coordinator"):
+        print(f"--coordinate uses the coordinator executor; it is "
+              f"incompatible with --executor {args.executor}", file=out)
+        return 2
+    if args.executor == "coordinator" and not args.coordinate:
+        print("--executor coordinator is driven by --coordinate "
+              "(optionally with --shards K)", file=out)
+        return 2
+    if args.workers is not None and args.executor != "remote":
+        print("--workers only applies to --executor remote", file=out)
+        return 2
+    if args.executor is None and args.max_retries is not None \
+            and not args.coordinate:
+        print("--max-retries needs --executor NAME (or --coordinate)",
+              file=out)
+        return 2
     spec = resolve_sweep_spec(args.spec, warmup=args.warmup,
                               measure=args.measure, engine=args.engine)
 
@@ -383,17 +491,40 @@ def cmd_sweep(args, out) -> int:
         stream=sys.stderr if args.progress else None)
     coordinator = None
     try:
-        if args.coordinate:
+        if args.daemon is not None:
+            results = submit_sweep(args.daemon, spec,
+                                   use_cache=not args.no_cache,
+                                   on_event=reporter)
+            if store is not None:
+                # a local copy of what the daemon (durably) holds
+                store.bind(spec.sweep_id()).touch()
+                for result in results:
+                    store.add(result)
+        elif args.coordinate:
             coordinator = CoordinatorBackend(
                 shards=args.shards,
                 jobs=None if args.jobs == 0 else args.jobs,
-                chunksize=args.chunksize)
+                chunksize=args.chunksize,
+                max_retries=(1 if args.max_retries is None
+                             else args.max_retries))
             results = coordinator.run(session, spec, store=store,
                                       use_cache=not args.no_cache,
                                       progress=reporter)
         else:
-            backend = backend_for_jobs(args.jobs,
-                                       chunksize=args.chunksize)
+            if args.executor is not None:
+                try:
+                    backend = executor_from_options(
+                        args.executor,
+                        jobs=None if args.jobs == 1 else args.jobs,
+                        chunksize=args.chunksize,
+                        workers=args.workers,
+                        max_retries=args.max_retries)
+                except ValueError as exc:
+                    print(str(exc), file=out)
+                    return 2
+            else:
+                backend = backend_for_jobs(args.jobs,
+                                           chunksize=args.chunksize)
             results = session.sweep(spec, use_cache=not args.no_cache,
                                     backend=backend, store=store,
                                     shard=args.shard, progress=reporter)
@@ -420,6 +551,54 @@ def cmd_sweep(args, out) -> int:
     print(render_sweep_summary(
         summarize(results),
         title=f"Sweep {spec.sweep_id()}{note}"), file=out)
+    return 0
+
+
+def cmd_worker(args, out) -> int:
+    try:
+        host, port = parse_address(args.listen)
+    except ValueError as exc:
+        print(str(exc), file=out)
+        return 2
+    server = WorkerServer(host=host, port=port,
+                          session=Session(cache_dir=args.cache_dir),
+                          heartbeat_interval=args.heartbeat)
+    # spawners (CI, scripts) parse this line for the resolved port
+    print(f"worker listening on {format_address(server.address)}",
+          file=out, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def cmd_serve(args, out) -> int:
+    try:
+        host, port = parse_address(args.listen)
+        workers = [parse_address(part)
+                   for part in args.workers.split(",") if part]
+    except ValueError as exc:
+        print(str(exc), file=out)
+        return 2
+    if not workers:
+        print("--workers needs at least one HOST:PORT", file=out)
+        return 2
+    daemon = SweepDaemon(
+        workers=workers, host=host, port=port,
+        store_dir=(str(args.store_dir)
+                   if args.store_dir is not None else None),
+        batch_size=args.batch_size, max_retries=args.max_retries)
+    print(f"serve listening on {format_address(daemon.address)}",
+          file=out, flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        daemon.close()
     return 0
 
 
@@ -454,6 +633,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_experiment(args, out)
     if args.command == "sweep":
         return cmd_sweep(args, out)
+    if args.command == "worker":
+        return cmd_worker(args, out)
+    if args.command == "serve":
+        return cmd_serve(args, out)
     raise AssertionError("unreachable")
 
 

@@ -1,0 +1,167 @@
+"""The ``repro serve`` sweep daemon: fair scheduling, event/result
+streaming, durable per-sweep stores, crash-resume, and end-to-end
+equivalence with a serial run."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import (MockExecutor, ResultStore, Session, SweepDaemon,
+                       SweepSpec, WorkerServer, submit_sweep)
+from repro.api.remote.protocol import format_address
+
+
+def make_spec(workload="compute_int", points=4):
+    sizes = [16, 32, 48, 64, 80, 96, 112, 128][:points]
+    return SweepSpec(workloads=[workload], warmup=150, measure=100,
+                     axes={"core.iq_size": sizes})
+
+
+def drain(daemon):
+    """Drive the scheduler synchronously until no job has work."""
+    while True:
+        batch = daemon._collect_batch()
+        if not batch:
+            return
+        daemon._run_batch(batch)
+
+
+# ------------------------------------------------------ fair scheduling
+def test_round_robin_interleaves_concurrent_sweeps():
+    mock = MockExecutor()
+    daemon = SweepDaemon(executor=mock, listen=False, batch_size=4)
+    job_a = daemon.submit(make_spec("compute_int", 4), use_cache=False)
+    job_b = daemon.submit(make_spec("stream_triad", 4), use_cache=False)
+    drain(daemon)
+    assert job_a.done.is_set() and job_b.done.is_set()
+    assert job_a.completed == 4 and job_b.completed == 4
+    # each 4-point batch takes one point per active job per round:
+    # strict A/B alternation, so neither sweep starves the other
+    workloads = [workload for _, workload in mock.dispatched]
+    assert workloads[:4] in (
+        ["compute_int", "stream_triad"] * 2,
+        ["stream_triad", "compute_int"] * 2)
+    assert workloads.count("compute_int") == 4
+    assert workloads.count("stream_triad") == 4
+    daemon.close()
+
+
+def test_rotation_origin_advances_between_batches():
+    mock = MockExecutor()
+    daemon = SweepDaemon(executor=mock, listen=False, batch_size=1)
+    daemon.submit(make_spec("compute_int", 2), use_cache=False)
+    daemon.submit(make_spec("stream_triad", 2), use_cache=False)
+    drain(daemon)
+    # batch_size 1 + rotating origin: no job owns the front slot
+    workloads = [workload for _, workload in mock.dispatched]
+    assert workloads[0] != workloads[1]
+    daemon.close()
+
+
+# ------------------------------------------------- streamed frames
+def test_sink_receives_events_results_and_done():
+    mock = MockExecutor()
+    daemon = SweepDaemon(executor=mock, listen=False)
+    frames = []
+    job = daemon.submit(make_spec(points=2), use_cache=False,
+                        sink=frames.append)
+    drain(daemon)
+    assert job.done.is_set()
+    ops = [frame["op"] for frame in frames]
+    assert ops.count("result") == 2
+    assert ops[-1] == "done"
+    done = frames[-1]
+    assert done["points"] == 2 and done["completed"] == 2
+    assert done["failures"] == 0
+    events = [frame["event"] for frame in frames
+              if frame["op"] == "event"]
+    # event indexes are rewritten to the sweep's expansion order
+    assert {event["index"] for event in events} == {0, 1}
+    assert {event["kind"] for event in events} >= {"started",
+                                                   "finished"}
+    daemon.close()
+
+
+def test_client_disconnect_keeps_the_sweep_running(tmp_path):
+    mock = MockExecutor()
+    daemon = SweepDaemon(executor=mock, listen=False,
+                         store_dir=str(tmp_path))
+
+    def broken_sink(frame):
+        raise OSError("client went away")
+
+    job = daemon.submit(make_spec(points=3), use_cache=False,
+                        sink=broken_sink)
+    drain(daemon)
+    assert job.done.is_set()
+    assert job.completed == 3  # submit-and-forget: points all landed
+    store = ResultStore.for_sweep(tmp_path, job.sweep_id)
+    assert len(store) == 3
+    daemon.close()
+
+
+# --------------------------------------------------- socket round trip
+def test_client_submission_over_the_socket():
+    mock = MockExecutor()
+    with SweepDaemon(executor=mock).start() as daemon:
+        events = []
+        results = submit_sweep(format_address(daemon.address),
+                               make_spec(points=3), use_cache=False,
+                               on_event=events.append)
+    assert len(results) == 3
+    assert all(result.backend == "mock" for result in results)
+    assert {event.kind for event in events} >= {"submitted", "started",
+                                                "finished"}
+
+
+def test_daemon_rejects_bad_specs():
+    with SweepDaemon(executor=MockExecutor()).start() as daemon:
+        with pytest.raises(RuntimeError, match="bad sweep spec"):
+            submit_sweep(format_address(daemon.address),
+                         SweepSpec(workloads=[]))
+
+
+# ------------------------------------------------ durability / resume
+def test_store_resume_across_daemon_restarts(tmp_path):
+    spec = make_spec(points=3)
+    with SweepDaemon(executor=MockExecutor(),
+                     store_dir=str(tmp_path)).start() as daemon:
+        first = submit_sweep(format_address(daemon.address), spec,
+                             use_cache=False)
+    assert len(first) == 3
+    store_files = list(Path(tmp_path).glob("sweep-*.jsonl"))
+    assert [p.name for p in store_files] == \
+        [f"sweep-{spec.sweep_id()}.jsonl"]
+    # a fresh daemon over the same directory serves everything from
+    # the store: zero dispatches, sources say so
+    replacement = MockExecutor()
+    with SweepDaemon(executor=replacement,
+                     store_dir=str(tmp_path)).start() as daemon:
+        second = submit_sweep(format_address(daemon.address), spec,
+                              use_cache=False)
+    assert replacement.dispatched == []
+    assert {result.source for result in second} == {"store"}
+    assert [r.stats for r in first] == [r.stats for r in second]
+
+
+# ------------------------------------------------ end-to-end equivalence
+def test_daemon_over_worker_fleet_matches_serial(tmp_path):
+    spec = make_spec(points=4)
+    with WorkerServer(session=Session(cache_dir=str(tmp_path / "w0")),
+                      heartbeat_interval=0.2) as w0, \
+            WorkerServer(session=Session(cache_dir=str(tmp_path / "w1")),
+                         heartbeat_interval=0.2) as w1:
+        w0.start()
+        w1.start()
+        with SweepDaemon(workers=[w0.address, w1.address],
+                         store_dir=str(tmp_path / "stores")
+                         ).start() as daemon:
+            results = submit_sweep(format_address(daemon.address),
+                                   spec, use_cache=False)
+    with Session(cache_dir=str(tmp_path / "serial")) as session:
+        baseline = session.sweep(spec, use_cache=False)
+    assert [r.stats for r in results] == [r.stats for r in baseline]
+    store = ResultStore.for_sweep(tmp_path / "stores", spec.sweep_id())
+    for expected in baseline:
+        row = store.get(expected.key)
+        assert row is not None and row.stats == expected.stats
