@@ -18,6 +18,7 @@ nothing.  From the repo root::
         --store remote.jsonl
     python scripts/ci_sweep.py daemon --workers 2 --store client.jsonl \\
         --daemon-store daemon.jsonl
+    python scripts/ci_sweep.py inspect-check --report inspect.json
 
 ``coordinate`` drives every shard from one process (the
 ``repro sweep --coordinate`` engine); ``compare`` asserts two stores
@@ -29,6 +30,15 @@ remote`` (``--kill-one`` murders a worker after the first landed
 point, proving retry-on-survivors); ``daemon`` spawns a fleet plus a
 ``repro serve`` daemon and submits the sweep as a client.
 
+``inspect-check`` is the anomaly-injection gate for the online sweep
+QA (:mod:`repro.api.inspect`): it drives the sweep through a
+tampering ``MockExecutor`` that injects a scripted retry, a
+stat-conservation violation and a consistent IPC outlier, then
+asserts the ``SweepInspector`` flags exactly the injected points, the
+store carries their annotation rows, and a resumed sweep
+re-simulates exactly the quarantined keys and lands bit-identical to
+a clean run.
+
 ``--preset``/``--spec``, ``--warmup`` and ``--measure`` select the
 sweep; every subcommand must be given the same values (the store binds
 the spec's ``sweep_id`` and refuses a mismatch).  The driver is plain
@@ -38,6 +48,7 @@ the spec's ``sweep_id`` and refuses a mismatch).  The driver is plain
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import shutil
 import subprocess
@@ -51,9 +62,9 @@ for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
     if entry not in sys.path:
         sys.path.insert(0, entry)
 
-from repro.api import (CoordinatorBackend, ResultStore,  # noqa: E402
-                       Session, SweepSpec, backend_for_jobs,
-                       merge_stores, parse_shard)
+from repro.api import (CoordinatorBackend, MockExecutor,  # noqa: E402
+                       ResultStore, Session, SweepInspector, SweepSpec,
+                       backend_for_jobs, merge_stores, parse_shard)
 from repro.harness.experiments import resolve_sweep_spec  # noqa: E402
 
 
@@ -316,6 +327,169 @@ def cmd_daemon(args) -> int:
     return 0
 
 
+class _TamperingMock(MockExecutor):
+    """A ``MockExecutor`` that corrupts chosen points' statistics.
+
+    *tamper* maps a batch index to a function applied to the
+    fabricated stats dict — the anomaly-injection vehicle for
+    ``inspect-check``.
+    """
+
+    def __init__(self, tamper, **kwargs):
+        super().__init__(**kwargs)
+        self.tamper = dict(tamper)
+
+    def _fabricate(self, future):
+        stats = super()._fabricate(future)
+        patch = self.tamper.get(future.index)
+        return patch(stats) if patch else stats
+
+
+def _break_conservation(stats):
+    """Commit more instructions than the measure window allows."""
+    stats["committed"] = stats["committed"] + 7
+    return stats
+
+
+def _implant_outlier(stats):
+    """A *consistent* 2x-IPC point: no invariant trips, only the
+    statistical baseline can catch it."""
+    stats["cycles"] = max(1, stats["cycles"] // 2)
+    stats["ipc"] = stats["committed"] / stats["cycles"]
+    stats["cpi"] = stats["cycles"] / stats["committed"]
+    return stats
+
+
+def cmd_inspect_check(args) -> int:
+    """Prove the inspector catches injected anomalies end to end.
+
+    Three phases over the sweep through ``MockExecutor`` doubles:
+
+    1. a clean run into a reference store;
+    2. a tampered run (scripted retry, conservation violation,
+       implanted IPC outlier) under a ``SweepInspector`` — exactly
+       the two data anomalies must be flagged and quarantined, with
+       annotation rows in the store;
+    3. a resume with a clean executor — exactly the quarantined keys
+       re-simulate, the quarantine lifts, and the store ends
+       bit-identical to the clean reference.
+    """
+    spec = build_spec(args)
+    configs = spec.expand()
+    by_workload = {}
+    for index, config in enumerate(configs):
+        by_workload.setdefault(config.workload, []).append(index)
+    workloads = list(by_workload)
+    if len(workloads) < 2 or len(by_workload[workloads[1]]) < 6:
+        print("inspect-check FAILED: the sweep needs >= 2 workloads "
+              "with >= 6 points each to host the injections")
+        return 1
+    # the conservation break goes early in the first workload; the
+    # outlier goes on the second workload's sixth point, so its
+    # baseline holds baseline_min clean samples when the bad point
+    # lands; the scripted fail->ok retry rides on a clean point
+    invariant_index = by_workload[workloads[0]][1]
+    outlier_index = by_workload[workloads[1]][5]
+    retry_index = by_workload[workloads[0]][0]
+    injected = {configs[invariant_index].key(): "invariant",
+                configs[outlier_index].key(): "outlier"}
+
+    failures = []
+
+    def check(ok, message):
+        print(("ok      " if ok else "FAILED  ") + message)
+        if not ok:
+            failures.append(message)
+
+    with tempfile.TemporaryDirectory() as scratch:
+        scratch = Path(scratch)
+        # -- phase 1: clean reference ----------------------------------
+        with Session(cache_dir=scratch / "cache") as session:
+            with ResultStore(scratch / "reference.jsonl") as reference:
+                session.sweep(spec, backend=MockExecutor(),
+                              store=reference, use_cache=False)
+            reference_rows = {k: r.stats
+                              for k, r in reference.load().items()}
+
+            # -- phase 2: tampered run under the inspector -------------
+            store = ResultStore(args.store if args.store is not None
+                                else scratch / "inspected.jsonl")
+            tampered = _TamperingMock(
+                {invariant_index: _break_conservation,
+                 outlier_index: _implant_outlier},
+                script={retry_index: ["fail", "ok"]})
+            inspector = SweepInspector(store=store)
+            with store:
+                session.sweep(spec, backend=tampered, store=store,
+                              inspect=inspector, use_cache=False)
+            flagged = {a.key: a.check for a in inspector.anomalies}
+            check(flagged == injected,
+                  f"inspector flags exactly the injected anomalies "
+                  f"({sorted(injected.values())})")
+            check(sorted(inspector.quarantined) == sorted(injected),
+                  "both injected keys are quarantined")
+            check(inspector.summary()["retried"] == 1,
+                  "the scripted fail->ok retry is counted once")
+            reopened = ResultStore(store.path)
+            annotated = {a.key: a.check
+                         for a in reopened.annotations()}
+            check(annotated == injected,
+                  "the store carries both annotation rows after "
+                  "reopen")
+            check(sorted(reopened.quarantined_keys())
+                  == sorted(injected),
+                  "the reopened store quarantines exactly the "
+                  "injected keys")
+
+            # -- phase 3: resume re-runs exactly the quarantine --------
+            clean = MockExecutor()
+            resume_inspector = SweepInspector(store=store)
+            with store:
+                results = session.sweep(spec, backend=clean,
+                                        store=store,
+                                        inspect=resume_inspector,
+                                        use_cache=False)
+            resimulated = sorted(r.key for r in results if not r.cached)
+            check(resimulated == sorted(injected),
+                  f"resume re-simulates exactly the "
+                  f"{len(injected)} quarantined point(s)")
+            check(len(clean.dispatched) == len(injected),
+                  "the resume dispatches nothing else")
+            check(not resume_inspector.anomalies,
+                  "the resumed run is anomaly-free")
+            final = ResultStore(store.path)
+            check(not list(final.quarantined_keys()),
+                  "the fresh rows lift the quarantine")
+            final_rows = {k: r.stats for k, r in final.load().items()}
+            check(final_rows == reference_rows,
+                  f"final store is bit-identical to the clean "
+                  f"reference ({len(reference_rows)} points)")
+
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        report = {
+            "sweep_id": spec.sweep_id(),
+            "points": len(configs),
+            "injected": injected,
+            "flagged": [a.to_dict() for a in inspector.anomalies],
+            "resimulated": resimulated,
+            "failures": failures,
+            "inspector": inspector.summary(),
+        }
+        args.report.write_text(json.dumps(report, indent=2,
+                                          sort_keys=True) + "\n")
+        print(f"report -> {args.report}")
+
+    if failures:
+        print(f"inspect-check FAILED: {len(failures)} of the "
+              f"injected-anomaly assertions did not hold")
+        return 1
+    print(f"inspect-check OK: {len(injected)} injected anomalies "
+          f"caught, quarantined, re-run and healed over "
+          f"{len(configs)} points")
+    return 0
+
+
 def cmd_check_resume(args) -> int:
     """Resuming from a complete store must simulate zero points."""
     spec = build_spec(args)
@@ -396,6 +570,17 @@ def main(argv=None) -> int:
                           help="copy the daemon's own per-sweep store "
                                "here after the run")
     daemon_p.set_defaults(func=cmd_daemon)
+
+    inspect_p = sub.add_parser(
+        "inspect-check",
+        help="anomaly-injection gate for the online sweep inspector")
+    add_spec_options(inspect_p)
+    inspect_p.add_argument("--store", type=Path, default=None,
+                           help="keep the inspected store here "
+                                "(default: a temp file)")
+    inspect_p.add_argument("--report", type=Path, default=None,
+                           help="write a JSON report of the gate here")
+    inspect_p.set_defaults(func=cmd_inspect_check)
 
     resume_p = sub.add_parser(
         "check-resume",

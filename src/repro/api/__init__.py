@@ -34,6 +34,13 @@ The API layer is organised around four ideas:
   results; with :meth:`SweepSpec.shard` and ``Session.sweep(store=,
   shard=)`` they make sweeps shardable across machines and resumable
   (:func:`merge_stores` recombines shard artifacts).
+* :class:`SweepInspector` — online sweep QA (:mod:`repro.api.inspect`):
+  validates every landed result against hard stat invariants and
+  per-workload outlier baselines, raises operational alarms from the
+  lifecycle-event stream, and persists confirmed anomalies as
+  :class:`Annotation` rows that quarantine their key — a resumed
+  sweep re-simulates exactly the quarantined points.  Enabled with
+  ``Session.run_many/sweep/coordinate(inspect=True)``.
 * Allocation policies — :mod:`repro.policies` owns *when* resources
   are claimed; ``SimConfig(policy=...)`` / a ``"policy"`` sweep axis
   selects a registered policy (:func:`policy_names`).
@@ -58,6 +65,8 @@ from repro.api.exec import (CoordinatorBackend, ExecEvent,
                             as_executor)
 from repro.api.executors import (build_executor, executor_descriptions,
                                  executor_names)
+from repro.api.inspect import (InspectorConfig, SweepInspector,
+                               stat_invariants)
 from repro.api.mock import MockExecutor
 from repro.api.registry import (Experiment, experiment, experiment_names,
                                 get_experiment, renderer)
@@ -66,7 +75,8 @@ from repro.api.remote import (RemoteExecutor, SweepDaemon, WorkerFleetError,
 from repro.api.result import SimResult
 from repro.api.session import Session, default_session, set_default_session
 from repro.api.spec import SweepSpec, parse_shard
-from repro.api.store import ResultStore, merge_stores, summarize
+from repro.api.store import (Annotation, ResultStore, merge_stores,
+                             summarize)
 from repro.harness.config import SimConfig
 from repro.ltp.config import ltp_preset, ltp_preset_names
 from repro.policies import (DEFAULT_POLICY, AllocationPolicy, build_policy,
@@ -74,6 +84,7 @@ from repro.policies import (DEFAULT_POLICY, AllocationPolicy, build_policy,
 
 __all__ = [
     "AllocationPolicy",
+    "Annotation",
     "CoordinatorBackend",
     "DEFAULT_POLICY",
     "ExecEvent",
@@ -81,6 +92,7 @@ __all__ = [
     "ExecutionBackend",
     "ExecutionCancelled",
     "ExecutorBackend",
+    "InspectorConfig",
     "LegacyBackendAdapter",
     "MockExecutor",
     "PoolExecutor",
@@ -94,6 +106,7 @@ __all__ = [
     "SimFuture",
     "SimResult",
     "SweepDaemon",
+    "SweepInspector",
     "SweepSpec",
     "WorkerFailure",
     "WorkerFleetError",
@@ -116,6 +129,7 @@ __all__ = [
     "policy_names",
     "renderer",
     "set_default_session",
+    "stat_invariants",
     "submit_sweep",
     "summarize",
 ]

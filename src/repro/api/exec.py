@@ -74,6 +74,10 @@ EVENT_RETRIED = "retried"
 EVENT_CANCELLED = "cancelled"
 EVENT_KINDS = (EVENT_SUBMITTED, EVENT_STARTED, EVENT_FINISHED,
                EVENT_FAILED, EVENT_RETRIED, EVENT_CANCELLED)
+#: synthetic event kind injected by the SweepInspector (not part of
+#: the per-future lifecycle, so not in EVENT_KINDS): an anomaly
+#: confirmed online, carrying ``"check: detail"`` in ``error``
+EVENT_ANOMALY = "anomaly"
 
 
 @dataclass
@@ -844,14 +848,19 @@ class CoordinatorBackend:
     def run(self, session: "Session", spec: "SweepSpec",
             store: Optional["ResultStore"] = None,
             use_cache: bool = True,
-            progress: Optional[ProgressCallback] = None
+            progress: Optional[ProgressCallback] = None,
+            inspect: Any = None,
             ) -> List[SimResult]:
         """Run the whole sweep; results in :meth:`SweepSpec.expand` order.
 
         With a *store*, stored points are served without simulating
         (crash-resume) and every fresh outcome is appended as it lands;
         the store is bound to the spec's ``sweep_id`` up front so a
-        resume against the wrong spec fails fast.
+        resume against the wrong spec fails fast.  *inspect* enables
+        online QA over the coordinated drive
+        (:class:`~repro.api.inspect.SweepInspector`); shard tags on
+        the lifecycle events give the inspector its per-shard
+        throughput and dead-shard view.
         """
         executor = self._build_executor()
         resolved_jobs = getattr(executor, "_resolved_jobs", lambda: 1)()
@@ -877,9 +886,11 @@ class CoordinatorBackend:
         self.last_report = {"shards": count, "points": len(configs),
                             "per_shard": [len(bucket)
                                           for bucket in buckets]}
+        from repro.api.inspect import as_inspector
         return session._drive(executor, configs, submission,
                               use_cache=use_cache, store=store,
-                              progress=progress)
+                              progress=progress,
+                              inspect=as_inspector(inspect, store))
 
     def __repr__(self) -> str:
         return (f"CoordinatorBackend(shards={self.shards!r}, "

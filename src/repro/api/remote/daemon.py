@@ -30,9 +30,11 @@ from __future__ import annotations
 import socket
 import threading
 from collections import deque
+from dataclasses import replace as dc_replace
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.api.exec import ExecutorBackend
+from repro.api.inspect import SweepInspector
 from repro.api.remote.protocol import (ProtocolError, recv_frame,
                                        send_frame)
 from repro.api.result import SOURCE_STORE, SimResult
@@ -49,12 +51,19 @@ class _SweepJob:
 
     def __init__(self, spec: SweepSpec, configs: List[SimConfig],
                  use_cache: bool, sink: Optional[FrameSink],
-                 store: Optional[ResultStore]) -> None:
+                 store: Optional[ResultStore],
+                 inspector: Optional[SweepInspector] = None) -> None:
         self.spec = spec
         self.sweep_id = spec.sweep_id()
         self.configs = configs
         self.use_cache = use_cache
         self.store = store
+        #: per-sweep online QA; anomaly events stream to the client
+        self.inspector = inspector
+        if inspector is not None:
+            inspector.add_sink(
+                lambda event: self.emit({"op": "event",
+                                         "event": event.to_dict()}))
         #: results served straight from the store at submission
         self.stored: List[Tuple[int, SimResult]] = []
         #: (expansion index, config) not yet handed to the executor
@@ -87,11 +96,13 @@ class SweepDaemon:
                  store_dir: Optional[str] = None,
                  executor: Optional[ExecutorBackend] = None,
                  batch_size: int = 8, max_retries: int = 1,
-                 listen: bool = True) -> None:
+                 listen: bool = True, inspect: bool = False) -> None:
         if executor is None:
             from repro.api.remote.executor import RemoteExecutor
             executor = RemoteExecutor(workers, max_retries=max_retries)
         self.executor = executor
+        #: build a per-sweep SweepInspector for every submission
+        self.inspect = inspect
         self.batch_size = max(1, batch_size)
         self.store_dir = store_dir
         self._stores: Dict[str, ResultStore] = {}
@@ -188,15 +199,25 @@ class SweepDaemon:
         spec.validate()
         configs = spec.expand()
         store = self._store_for(spec)
-        job = _SweepJob(spec, configs, use_cache, sink, store)
+        inspector = (SweepInspector(store=store)
+                     if self.inspect else None)
+        job = _SweepJob(spec, configs, use_cache, sink, store,
+                        inspector=inspector)
         for index, config in enumerate(configs):
             key = config.key()
-            stored = store.get(key) if store is not None else None
+            # a quarantined key's stored row is suspect: treat it as
+            # not yet simulated, so the submission re-runs it
+            stored = (store.get(key)
+                      if store is not None
+                      and not store.quarantined(key) else None)
             if stored is not None:
-                job.stored.append((index, SimResult(
+                result = SimResult(
                     config=config, stats=stored.stats, key=key,
                     source=SOURCE_STORE, wall_time_s=0.0,
-                    backend="store")))
+                    backend="store")
+                job.stored.append((index, result))
+                # seed the inspector's baselines from history
+                self._observe(job, result, index)
             else:
                 job.pending.append((index, config))
         return job
@@ -224,11 +245,31 @@ class SweepDaemon:
                       "result": result.to_dict()})
         return self.activate(job)
 
+    def _observe(self, job: _SweepJob, result: SimResult,
+                 index: int) -> None:
+        """Validate one landed result through the job's inspector.
+
+        Store-bound inspectors write annotation rows, so the store
+        lock serialises them against concurrent ``add`` calls (one
+        sweep's store can be shared by several submissions).
+        """
+        if job.inspector is None:
+            return
+        if job.store is not None:
+            with self._store_lock:
+                job.inspector.observe(result, index)
+        else:
+            job.inspector.observe(result, index)
+
     def _finish(self, job: _SweepJob) -> None:
-        job.emit({"op": "done", "sweep_id": job.sweep_id,
-                  "points": len(job.configs),
-                  "completed": job.completed + len(job.stored),
-                  "failures": job.failures})
+        done = {"op": "done", "sweep_id": job.sweep_id,
+                "points": len(job.configs),
+                "completed": job.completed + len(job.stored),
+                "failures": job.failures}
+        if job.inspector is not None:
+            done["anomalies"] = len(job.inspector.anomalies)
+            done["quarantined"] = len(job.inspector.quarantined)
+        job.emit(done)
         job.done.set()
 
     # ------------------------------------------------------------------
@@ -284,6 +325,15 @@ class SweepDaemon:
             if target is None:
                 return
             job, sweep_index = target
+            if job.inspector is not None:
+                # feed operational checks the expansion-order view;
+                # alarms may annotate the store, so take its lock
+                remapped = dc_replace(event, index=sweep_index)
+                if job.store is not None:
+                    with self._store_lock:
+                        job.inspector(remapped)
+                else:
+                    job.inspector(remapped)
             payload = event.to_dict()
             payload["index"] = sweep_index  # the job's expansion index
             job.emit({"op": "event", "event": payload})
@@ -324,6 +374,9 @@ class SweepDaemon:
             if job.store is not None:
                 with self._store_lock:
                     job.store.add(result)
+            # after the result row: a verdict annotation must follow
+            # the row it judges in the store timeline
+            self._observe(job, result, index)
             job.completed += 1
             job.emit({"op": "result", "index": index,
                       "result": result.to_dict()})

@@ -47,6 +47,7 @@ from repro.policies import build_policy, policy_needs_oracle
 from repro.workloads import get_workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.inspect import SweepInspector
     from repro.api.spec import SweepSpec
     from repro.api.store import ResultStore
 
@@ -255,6 +256,7 @@ class Session:
                use_cache: bool = True,
                store: Optional["ResultStore"] = None,
                progress: Optional[ProgressCallback] = None,
+               inspect: Optional["SweepInspector"] = None,
                ) -> List[SimResult]:
         """Resolve cache/store hits and drive the rest as futures.
 
@@ -269,11 +271,25 @@ class Session:
         cancellations raise :class:`ExecutionCancelled` — everything
         that completed first is preserved, which is what makes a
         cancelled sweep resumable.
+
+        An *inspect*\\ or watches the drive: it joins the executor's
+        progress callbacks (operational alarms) and every landed
+        result — store and cache hits included, which seeds its
+        baselines from history — passes through
+        :meth:`~repro.api.inspect.SweepInspector.observe`.  Keys the
+        store holds quarantined are treated as not-yet-simulated:
+        their store rows are not served, and cache lookups are
+        bypassed for them so the re-run regenerates the data instead
+        of replaying a poisoned cache entry.
         """
         executor = as_executor(backend)
         executor.bind(self)
         if progress is not None:
             executor.add_progress_callback(progress)
+        if inspect is not None:
+            executor.add_progress_callback(inspect)
+            if progress is not None:
+                inspect.add_sink(progress)
         submission = list(submission)
         # validate everything before anything is submitted: a bad
         # config must not leave earlier items queued on the (shared)
@@ -287,14 +303,20 @@ class Session:
             for index, shard_tag in submission:
                 config = config_list[index]
                 key = config.key()
-                stored = store.get(key) if store is not None else None
+                quarantined = store is not None and store.quarantined(key)
+                stored = (store.get(key)
+                          if store is not None and not quarantined
+                          else None)
                 if stored is not None:
                     results[index] = SimResult(
                         config=config, stats=stored.stats, key=key,
                         source=SOURCE_STORE, wall_time_s=0.0,
                         backend="store")
+                    if inspect is not None:
+                        inspect.observe(results[index], index)
                     continue
-                hit = self.results.lookup(key) if use_cache else None
+                hit = (self.results.lookup(key)
+                       if use_cache and not quarantined else None)
                 if hit is not None:
                     stats, where = hit
                     source = (SOURCE_MEMORY if where == "memory"
@@ -303,6 +325,8 @@ class Session:
                                                    source, backend="cache")
                     if store is not None:
                         store.add(results[index])
+                    if inspect is not None:
+                        inspect.observe(results[index], index)
                 elif key in primary:  # simulate each distinct config once
                     duplicates.append((index, key))
                 else:
@@ -336,6 +360,10 @@ class Session:
                     # persist as each point lands, so an interrupted
                     # sweep keeps everything it finished
                     store.add(result)
+                if inspect is not None:
+                    # after store.add: a verdict annotation must follow
+                    # the result row it judges in the store timeline
+                    inspect.observe(result, future.index)
 
             for index, key in duplicates:
                 if primary[key] in results:
@@ -359,12 +387,17 @@ class Session:
         finally:
             if progress is not None:
                 executor.remove_progress_callback(progress)
+            if inspect is not None:
+                executor.remove_progress_callback(inspect)
+                if progress is not None:
+                    inspect.remove_sink(progress)
 
     def run_many(self, configs: Iterable[SimConfig],
                  use_cache: bool = True,
                  backend: Optional[ExecutionBackend] = None,
                  store: Optional["ResultStore"] = None,
                  progress: Optional[ProgressCallback] = None,
+                 inspect: Any = None,
                  ) -> List[SimResult]:
         """Run independent configurations through an execution backend.
 
@@ -384,20 +417,30 @@ class Session:
         "store"``) without simulating, and every other outcome is
         appended to the store as it lands — an interrupted batch keeps
         all completed points, so re-running resumes where it stopped.
+
+        *inspect* turns on online QA: ``True`` builds a
+        :class:`~repro.api.inspect.SweepInspector` bound to *store*,
+        or pass a configured inspector.  Every landed result is
+        validated as it arrives, confirmed anomalies become store
+        annotations, and keys the store holds quarantined are
+        re-simulated instead of served.
         """
+        from repro.api.inspect import as_inspector
         config_list = list(configs)
         return self._drive(_as_backend(backend) or self.backend,
                            config_list,
                            [(index, None)
                             for index in range(len(config_list))],
                            use_cache=use_cache, store=store,
-                           progress=progress)
+                           progress=progress,
+                           inspect=as_inspector(inspect, store))
 
     def sweep(self, spec: "SweepSpec", use_cache: bool = True,
               backend: Optional[ExecutionBackend] = None,
               store: Optional["ResultStore"] = None,
               shard: Optional[Tuple[int, int]] = None,
               progress: Optional[ProgressCallback] = None,
+              inspect: Any = None,
               ) -> List[SimResult]:
         """Expand a :class:`~repro.api.spec.SweepSpec` and run it.
 
@@ -408,7 +451,11 @@ class Session:
         durable and resumable: stored points are skipped, fresh points
         are appended as they complete, and the store is bound to the
         spec's :meth:`~repro.api.spec.SweepSpec.sweep_id` so resuming
-        with a different spec fails fast.
+        with a different spec fails fast.  Keys the store holds
+        *quarantined* (an inspector's annotation rows) count as
+        not-yet-simulated: a resumed sweep re-runs exactly them, and
+        the fresh rows lift the quarantine.  *inspect* enables the
+        online QA itself (see :meth:`run_many`).
         """
         if backend is None and spec.executor is not None:
             # the spec's preference holds only when the caller did not
@@ -426,7 +473,7 @@ class Session:
             store.bind(spec.sweep_id()).touch()
         return self.run_many(configs, use_cache=use_cache,
                              backend=backend, store=store,
-                             progress=progress)
+                             progress=progress, inspect=inspect)
 
     def coordinate(self, spec: "SweepSpec",
                    store: Optional["ResultStore"] = None,
@@ -436,6 +483,7 @@ class Session:
                    use_cache: bool = True,
                    progress: Optional[ProgressCallback] = None,
                    executor: Optional[ExecutorBackend] = None,
+                   inspect: Any = None,
                    ) -> List[SimResult]:
         """Run every shard of *spec* from this one process.
 
@@ -453,7 +501,8 @@ class Session:
                                          chunksize=chunksize,
                                          executor=executor)
         return coordinator.run(self, spec, store=store,
-                               use_cache=use_cache, progress=progress)
+                               use_cache=use_cache, progress=progress,
+                               inspect=inspect)
 
     # ------------------------------------------------------------------
     # the simulation itself

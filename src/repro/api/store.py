@@ -23,6 +23,18 @@ Properties the design leans on:
   different sweep (or merging stores of different sweeps) raises
   instead of silently mixing results.
 
+Besides result rows a store holds **annotation rows**
+(:class:`Annotation`, ``"record": "annotation"``): structured anomaly
+records the online :class:`~repro.api.inspect.SweepInspector` appends
+when a landed result fails validation.  Row kinds share one last-wins
+timeline per cache key — an annotation with ``quarantine=True`` marks
+the key's result as suspect (``Session.sweep`` then treats it as
+not-yet-simulated, so a resumed sweep re-runs exactly the quarantined
+points), and a *later* result row for the same key lifts the
+quarantine again.  Readers that predate the annotation row kind skip
+the unknown rows; result rows have never carried a ``record`` tag, so
+new readers parse old stores unchanged.
+
 :func:`summarize` aggregates a store's rows into the per-workload
 means (:mod:`repro.analysis.aggregate`) that
 :func:`repro.harness.report.render_sweep_summary` prints.
@@ -32,6 +44,7 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (IO, Any, Dict, Iterable, List, Optional, Sequence,
                     Union)
@@ -44,8 +57,61 @@ STORE_SCHEMA = 1
 
 #: the header record's discriminator value
 _HEADER_RECORD = "header"
+#: the annotation-row discriminator value (result rows carry no tag)
+_ANNOTATION_RECORD = "annotation"
 
 PathLike = Union[str, Path]
+
+
+@dataclass
+class Annotation:
+    """One structured anomaly record attached to a sweep point.
+
+    Written by the :class:`~repro.api.inspect.SweepInspector` as its
+    durable verdict on a landed result: *which* point (cache ``key``),
+    *what* failed (``check`` — e.g. ``"invariant"``, ``"outlier"``,
+    ``"straggler"``), human-readable ``detail``, and whether the point
+    is ``quarantine``\\ d (its stored result is suspect and must be
+    re-simulated on resume) or merely noted (operational alarms).
+    ``values`` carries the measurements behind the verdict.
+    """
+
+    key: str
+    check: str
+    detail: str
+    workload: str = ""
+    #: expansion index of the point, when known (``None`` otherwise)
+    index: Optional[int] = None
+    quarantine: bool = True
+    values: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready store row (tagged with the annotation kind)."""
+        payload: Dict[str, Any] = {
+            "record": _ANNOTATION_RECORD,
+            "schema": STORE_SCHEMA,
+            "key": self.key,
+            "check": self.check,
+            "detail": self.detail,
+            "workload": self.workload,
+            "quarantine": self.quarantine,
+        }
+        if self.index is not None:
+            payload["index"] = self.index
+        if self.values:
+            payload["values"] = dict(self.values)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Annotation":
+        """Rebuild an annotation from a :meth:`to_dict` row."""
+        index = data.get("index")
+        return cls(key=str(data["key"]), check=str(data["check"]),
+                   detail=str(data.get("detail", "")),
+                   workload=str(data.get("workload", "")),
+                   index=None if index is None else int(index),
+                   quarantine=bool(data.get("quarantine", True)),
+                   values=dict(data.get("values") or {}))
 
 
 class ResultStore:
@@ -69,6 +135,10 @@ class ResultStore:
         self.sweep_id = sweep_id
         #: keys present in the file (insertion order, last-write wins)
         self._results: Dict[str, SimResult] = {}
+        #: annotation rows, latest per key (insertion order)
+        self._annotations: Dict[str, Annotation] = {}
+        #: keys whose stored result is currently quarantined
+        self._quarantined: set = set()
         #: rows dropped on load (torn/corrupt lines)
         self.skipped_rows = 0
         self._handle: Optional[IO[str]] = None
@@ -112,12 +182,23 @@ class ResultStore:
                     self._header_written = True
                     self._adopt_sweep_id(payload.get("sweep_id"))
                     continue
+                if payload.get("record") == _ANNOTATION_RECORD:
+                    try:
+                        annotation = Annotation.from_dict(payload)
+                    except (KeyError, ValueError, TypeError):
+                        self.skipped_rows += 1
+                        continue
+                    self._absorb_annotation(annotation)
+                    continue
                 try:
                     result = SimResult.from_dict(payload)
                 except (KeyError, ValueError, TypeError):
                     self.skipped_rows += 1
                     continue
                 self._results[result.key] = result
+                # a result row AFTER a quarantine annotation is the
+                # re-run that replaces the suspect data: lifts it
+                self._quarantined.discard(result.key)
 
     def _adopt_sweep_id(self, header_id: Optional[str]) -> None:
         if header_id is None:
@@ -162,6 +243,23 @@ class ResultStore:
     def load(self) -> Dict[str, SimResult]:
         """Key -> result mapping (deduped, last write per key wins)."""
         return dict(self._results)
+
+    def annotations(self) -> List[Annotation]:
+        """Latest annotation per key, in first-annotated order."""
+        return list(self._annotations.values())
+
+    def annotation(self, key: str) -> Optional[Annotation]:
+        """The latest annotation for *key*, or ``None``."""
+        return self._annotations.get(key)
+
+    def quarantined(self, key: str) -> bool:
+        """Whether *key*'s stored result is currently quarantined."""
+        return key in self._quarantined
+
+    def quarantined_keys(self) -> List[str]:
+        """Keys whose stored result is suspect, in annotation order."""
+        return [key for key in self._annotations
+                if key in self._quarantined]
 
     def __contains__(self, key: str) -> bool:
         return key in self._results
@@ -216,21 +314,46 @@ class ResultStore:
         return self
 
     def append(self, result: SimResult) -> None:
-        """Append one result row (flushed immediately, crash-safe)."""
+        """Append one result row (flushed immediately, crash-safe).
+
+        A fresh result row is the last word on its key: any standing
+        quarantine is lifted, matching the load-time timeline.
+        """
         self._ensure_header()
         self._write_row(result.to_dict())
         self._results[result.key] = result
+        self._quarantined.discard(result.key)
 
     def add(self, result: SimResult) -> bool:
         """Append *result* unless its key is already stored.
 
         Returns ``True`` when a row was written — the idempotent
-        variant sweeps use so resumed runs never bloat the log.
+        variant sweeps use so resumed runs never bloat the log.  A
+        quarantined key accepts the append (the re-run replaces the
+        suspect row and lifts the quarantine).
         """
-        if result.key in self._results:
+        if result.key in self._results and \
+                result.key not in self._quarantined:
             return False
         self.append(result)
         return True
+
+    def _absorb_annotation(self, annotation: Annotation) -> None:
+        self._annotations[annotation.key] = annotation
+        if annotation.quarantine:
+            self._quarantined.add(annotation.key)
+
+    def annotate(self, annotation: Annotation) -> None:
+        """Append one annotation row (flushed, last-wins by key).
+
+        With ``quarantine=True`` the key's stored result becomes
+        suspect: :meth:`quarantined` reports it, resume-aware callers
+        re-simulate the point, and the next :meth:`append` for the key
+        lifts the quarantine again.
+        """
+        self._ensure_header()
+        self._write_row(annotation.to_dict())
+        self._absorb_annotation(annotation)
 
     def extend(self, results: Iterable[SimResult]) -> int:
         """``add`` each result; returns how many rows were written."""
@@ -273,6 +396,14 @@ def merge_stores(destination: PathLike, sources: Sequence[PathLike],
         if store.sweep_id is not None:
             merged._adopt_sweep_id(store.sweep_id)
         merged.extend(store.results())
+        # carry only annotations still standing in their source: a
+        # quarantine a later result row already lifted stays lifted
+        for annotation in store.annotations():
+            if annotation.quarantine and \
+                    not store.quarantined(annotation.key):
+                continue
+            if annotation.key not in merged._annotations:
+                merged.annotate(annotation)
         store.close()
     return merged
 

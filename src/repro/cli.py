@@ -30,7 +30,16 @@ Commands:
   submissions from concurrent clients, multiplexes them over one
   ``--workers`` fleet with fair round-robin scheduling, and persists
   landed points to per-sweep stores under ``--store-dir`` (resumable
-  across restarts).
+  across restarts).  ``--inspect`` attaches a per-sweep
+  :class:`~repro.api.inspect.SweepInspector` to every submission.
+* ``watch STORE`` — inspect a sweep result store: progress,
+  per-workload summary, anomaly annotations and quarantined points;
+  ``--follow`` polls the file and prints a line as points land.
+
+``sweep --inspect`` turns on online QA over a local run: every landed
+result is validated (stat invariants, per-workload outlier baselines,
+operational alarms), confirmed anomalies are persisted as store
+annotation rows, and quarantined points re-run on ``--resume``.
 
 ``run``/sweep specs select an allocation policy (``--policy`` /
 ``SimConfig.policy`` / a ``"policy"`` sweep axis) from the
@@ -48,12 +57,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
 from repro.api import (CoordinatorBackend, ResultStore, Session,
-                       SweepDaemon, SweepSpec, WorkerServer,
-                       backend_for_jobs, default_session,
+                       SweepDaemon, SweepInspector, SweepSpec,
+                       WorkerServer, backend_for_jobs, default_session,
                        executor_names, experiment_names, get_experiment,
                        ltp_preset, ltp_preset_names, merge_stores,
                        parse_shard, submit_sweep, summarize)
@@ -194,7 +204,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: the spec's; an 'engine' axis "
                               "still wins per point)")
     sweep_p.add_argument("--progress", action="store_true",
-                         help="live execution-progress line on stderr")
+                         help="live execution-progress line on stderr "
+                              "(plain line-per-update when stderr is "
+                              "not a terminal)")
+    sweep_p.add_argument("--inspect", action="store_true",
+                         help="online QA: validate every landed result "
+                              "(stat invariants, outlier baselines, "
+                              "operational alarms); anomalies become "
+                              "store annotations that quarantine their "
+                              "point for --resume")
     sweep_p.add_argument("--no-cache", action="store_true")
     sweep_p.add_argument("--json", action="store_true",
                          help="emit the sweep document as JSON "
@@ -238,6 +256,28 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="re-dispatch attempts per failed point "
                               "(default 1)")
+    serve_p.add_argument("--inspect", action="store_true",
+                         help="attach a per-sweep SweepInspector to "
+                              "every submission: annotations land in "
+                              "the per-sweep store and anomaly events "
+                              "stream to the submitting client")
+
+    watch_p = sub.add_parser(
+        "watch", help="inspect a sweep result store: progress, "
+                      "per-workload summary, anomalies, quarantine")
+    watch_p.add_argument("store", type=Path,
+                         help="a --store / daemon sweep-<id>.jsonl file")
+    watch_p.add_argument("--follow", action="store_true",
+                         help="keep polling the store and print a "
+                              "progress line as points land")
+    watch_p.add_argument("--interval", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="poll interval for --follow (default 2.0)")
+    watch_p.add_argument("--points", type=int, default=None, metavar="N",
+                         help="with --follow: exit once the store "
+                              "holds N points (otherwise Ctrl-C)")
+    watch_p.add_argument("--json", action="store_true",
+                         help="emit the store report as JSON")
     return parser
 
 
@@ -310,44 +350,104 @@ def cmd_classify(args, out) -> int:
 
 
 class _ProgressReporter:
-    """Collects lifecycle events; optionally renders a live line.
+    """Collects lifecycle events; optionally renders live progress.
 
     Registered as the sweep's progress callback: every
     :class:`~repro.api.exec.ExecEvent` is recorded (for the ``--json``
-    event log) and, with ``stream`` set, a ``\\r``-refreshed counter
-    line tracks execution (cache/store hits never reach the executor,
-    so the denominator is the *submitted* count).
+    event log) and, with ``stream`` set, progress renders there.  On a
+    terminal that is a single ``\\r``-refreshed counter line with
+    retry counts, flagged anomalies and an ETA; on a non-TTY stream
+    (CI logs, pipes) it degrades to one plain line per *terminal*
+    event (finished/failed/cancelled/anomaly) so logs stay readable
+    instead of a wall of carriage returns.  Cache/store hits never
+    reach the executor, so the denominator is the *submitted* count.
+    Shard-tagged events (``--coordinate``) accumulate per-shard
+    throughput, reported by :meth:`close`.
     """
 
-    def __init__(self, stream=None) -> None:
+    def __init__(self, stream=None, clock=time.monotonic) -> None:
         self.stream = stream
+        self.live = (stream is not None
+                     and getattr(stream, "isatty", lambda: False)())
+        self.clock = clock
         self.events: List[dict] = []
         self.counts = {"submitted": 0, "finished": 0, "failed": 0,
-                       "retried": 0, "cancelled": 0}
+                       "retried": 0, "cancelled": 0, "anomaly": 0}
+        #: "check: detail" per anomaly event, in arrival order
+        self.anomalies: List[str] = []
+        #: shard -> [finished, first event clock, last event clock]
+        self.shards: dict = {}
+        self._t0: Optional[float] = None
+
+    def _eta(self, done: int) -> Optional[float]:
+        todo = self.counts["submitted"] - done
+        if self._t0 is None or not done or todo <= 0:
+            return None
+        elapsed = self.clock() - self._t0
+        return elapsed / done * todo
 
     def __call__(self, event) -> None:
+        now = self.clock()
+        if self._t0 is None:
+            self._t0 = now
         self.events.append(event.to_dict())
         if event.kind in self.counts:
             self.counts[event.kind] += 1
+        if event.kind == "anomaly":
+            self.anomalies.append(event.error or event.key)
+        if event.shard is not None:
+            shard = self.shards.setdefault(event.shard, [0, now, now])
+            shard[2] = now
+            if event.kind == "finished":
+                shard[0] += 1
         if self.stream is None:
             return
         counts = self.counts
         done = counts["finished"] + counts["failed"] + counts["cancelled"]
-        line = (f"\r[{done}/{counts['submitted']}] "
+        if not self.live and event.kind not in (
+                "finished", "failed", "cancelled", "anomaly"):
+            return  # non-TTY: only terminal events make a line
+        line = (f"[{done}/{counts['submitted']}] "
                 f"{event.kind} {event.workload}")
         for kind in ("failed", "retried", "cancelled"):
             if counts[kind]:
                 line += f" ({kind}: {counts[kind]})"
-        print(f"{line:<78}", end="", file=self.stream, flush=True)
+        if counts["anomaly"]:
+            line += f" (anomalies: {counts['anomaly']})"
+        if event.kind == "anomaly" and event.error:
+            line += f" [{event.error}]"
+        eta = self._eta(done)
+        if eta is not None:
+            line += f" ETA {eta:.0f}s"
+        if self.live:
+            print(f"\r{line:<78}", end="", file=self.stream, flush=True)
+        else:
+            print(line, file=self.stream, flush=True)
 
     def close(self) -> None:
-        if self.stream is not None and self.events:
+        if self.stream is None or not self.events:
+            return
+        if self.live:
             print(file=self.stream)
+        if self.shards:
+            parts = []
+            for shard in sorted(self.shards):
+                finished, first, last = self.shards[shard]
+                rate = (f"{finished / (last - first):.1f}/s"
+                        if finished and last > first else f"{finished}")
+                parts.append(f"s{shard}:{rate}")
+            print(f"shard throughput: {' '.join(parts)}",
+                  file=self.stream)
+        if self.anomalies and self.live:
+            # plain mode already printed each anomaly as it fired
+            for note in self.anomalies:
+                print(f"anomaly: {note}", file=self.stream)
 
 
 def _sweep_document(spec: SweepSpec, results, args,
                     reporter: Optional[_ProgressReporter] = None,
                     coordinator: Optional[CoordinatorBackend] = None,
+                    inspector: Optional[SweepInspector] = None,
                     ) -> dict:
     counts = {
         "simulated": sum(1 for r in results if not r.cached),
@@ -367,6 +467,8 @@ def _sweep_document(spec: SweepSpec, results, args,
     }
     if coordinator is not None:
         document["coordinate"] = coordinator.last_report
+    if inspector is not None:
+        document["inspector"] = inspector.summary()
     if reporter is not None:
         document["events"] = reporter.events
     return document
@@ -459,6 +561,12 @@ def cmd_sweep(args, out) -> int:
                   f"which decides execution itself; drop "
                   f"{', '.join(clashing)}", file=out)
             return 2
+        if args.inspect:
+            print("--inspect runs online QA where results land; with "
+                  "--daemon that is the server — start it with "
+                  "'repro serve --inspect' (anomaly events stream "
+                  "back to this client)", file=out)
+            return 2
     if args.coordinate and args.executor not in (None, "coordinator"):
         print(f"--coordinate uses the coordinator executor; it is "
               f"incompatible with --executor {args.executor}", file=out)
@@ -489,6 +597,7 @@ def cmd_sweep(args, out) -> int:
     session = default_session()
     reporter = _ProgressReporter(
         stream=sys.stderr if args.progress else None)
+    inspector = SweepInspector(store=store) if args.inspect else None
     coordinator = None
     try:
         if args.daemon is not None:
@@ -509,7 +618,8 @@ def cmd_sweep(args, out) -> int:
                              else args.max_retries))
             results = coordinator.run(session, spec, store=store,
                                       use_cache=not args.no_cache,
-                                      progress=reporter)
+                                      progress=reporter,
+                                      inspect=inspector)
         else:
             if args.executor is not None:
                 try:
@@ -527,7 +637,8 @@ def cmd_sweep(args, out) -> int:
                                            chunksize=args.chunksize)
             results = session.sweep(spec, use_cache=not args.no_cache,
                                     backend=backend, store=store,
-                                    shard=args.shard, progress=reporter)
+                                    shard=args.shard, progress=reporter,
+                                    inspect=inspector)
     finally:
         reporter.close()
         if store is not None:
@@ -536,7 +647,8 @@ def cmd_sweep(args, out) -> int:
     if args.json:
         print(render_json(_sweep_document(spec, results, args,
                                           reporter=reporter,
-                                          coordinator=coordinator)),
+                                          coordinator=coordinator,
+                                          inspector=inspector)),
               file=out)
         return 0
     if args.coordinate:
@@ -551,6 +663,19 @@ def cmd_sweep(args, out) -> int:
     print(render_sweep_summary(
         summarize(results),
         title=f"Sweep {spec.sweep_id()}{note}"), file=out)
+    if inspector is not None:
+        if inspector.anomalies:
+            print(f"inspector: {len(inspector.anomalies)} anomaly(ies), "
+                  f"{len(inspector.quarantined)} point(s) quarantined "
+                  f"(re-run them with --resume)", file=out)
+            for annotation in inspector.anomalies:
+                flag = "quarantined" if annotation.quarantine else "noted"
+                print(f"  [{annotation.check}] {flag} "
+                      f"{annotation.workload or annotation.key}: "
+                      f"{annotation.detail}", file=out)
+        else:
+            print(f"inspector: {inspector.observed} result(s) validated, "
+                  f"no anomalies", file=out)
     return 0
 
 
@@ -590,7 +715,8 @@ def cmd_serve(args, out) -> int:
         workers=workers, host=host, port=port,
         store_dir=(str(args.store_dir)
                    if args.store_dir is not None else None),
-        batch_size=args.batch_size, max_retries=args.max_retries)
+        batch_size=args.batch_size, max_retries=args.max_retries,
+        inspect=args.inspect)
     print(f"serve listening on {format_address(daemon.address)}",
           file=out, flush=True)
     try:
@@ -599,6 +725,86 @@ def cmd_serve(args, out) -> int:
         pass
     finally:
         daemon.close()
+    return 0
+
+
+def _watch_report(store_path: Path) -> dict:
+    """One snapshot of a store: progress, anomalies, quarantine."""
+    store = ResultStore(store_path)
+    try:
+        results = store.results()
+        return {
+            "store": str(store_path),
+            "sweep_id": store.sweep_id,
+            "points": len(results),
+            "quarantined": store.quarantined_keys(),
+            "annotations": [a.to_dict() for a in store.annotations()],
+            "summary": summarize(results),
+        }
+    finally:
+        store.close()
+
+
+def _render_watch(report: dict, out) -> None:
+    title = (f"Store {report['store']} "
+             f"(sweep {report['sweep_id'] or 'unbound'}, "
+             f"{report['points']} points)")
+    print(render_sweep_summary(report["summary"], title=title), file=out)
+    annotations = report["annotations"]
+    if annotations:
+        standing = set(report["quarantined"])
+        # a quarantine a later re-run already lifted is history
+        rows = [[a["check"],
+                 ("quarantined" if a["key"] in standing
+                  else "healed" if a.get("quarantine") else "noted"),
+                 a.get("workload") or "-", a["key"][:12], a["detail"]]
+                for a in annotations]
+        print(render_table(["check", "state", "workload", "key",
+                            "detail"], rows,
+                           title=f"{len(annotations)} anomaly "
+                                 f"annotation(s)"), file=out)
+        quarantined = report["quarantined"]
+        if quarantined:
+            print(f"{len(quarantined)} point(s) quarantined — a "
+                  f"resumed sweep re-runs exactly them", file=out)
+    else:
+        print("no anomaly annotations", file=out)
+
+
+def cmd_watch(args, out) -> int:
+    if not args.store.is_file():
+        print(f"store {args.store} does not exist", file=out)
+        return 2
+    if not args.follow:
+        report = _watch_report(args.store)
+        if args.json:
+            print(render_json(report), file=out)
+        else:
+            _render_watch(report, out)
+        return 0
+    # --follow: poll the file, line per change, until --points (or ^C)
+    last_points = -1
+    try:
+        while True:
+            report = _watch_report(args.store)
+            points = report["points"]
+            if points != last_points:
+                line = f"[{points} points]"
+                if report["annotations"]:
+                    line += (f" anomalies: {len(report['annotations'])}"
+                             f" quarantined: "
+                             f"{len(report['quarantined'])}")
+                print(line, file=out, flush=True)
+                last_points = points
+            if args.points is not None and points >= args.points:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    if args.json:
+        print(render_json(_watch_report(args.store)), file=out)
+    else:
+        _render_watch(_watch_report(args.store), out)
     return 0
 
 
@@ -637,6 +843,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_worker(args, out)
     if args.command == "serve":
         return cmd_serve(args, out)
+    if args.command == "watch":
+        return cmd_watch(args, out)
     raise AssertionError("unreachable")
 
 

@@ -118,3 +118,35 @@ def test_ci_sweep_compare_detects_divergence(tmp_path):
     proc = run_driver(["compare", str(left), str(right)], tmp_path)
     assert proc.returncode == 1
     assert "MISSING" in proc.stdout
+
+
+def test_ci_sweep_inspect_check_gate(tmp_path):
+    """The anomaly-injection gate passes and writes its JSON report."""
+    spec_path = tmp_path / "spec.json"
+    # the gate needs >= 2 workloads with >= 6 points each to host the
+    # conservation break and the baselined outlier
+    spec_path.write_text(json.dumps({
+        "workloads": ["compute_int", "stream_triad"],
+        "axes": {"core.iq_size": [16, 32, 48, 64, 80, 96]},
+        "warmup": 150, "measure": 120,
+    }))
+    report = tmp_path / "report.json"
+    store = tmp_path / "inspected.jsonl"
+    proc = run_driver(["inspect-check", "--spec", str(spec_path),
+                       "--store", str(store), "--report", str(report)],
+                      tmp_path)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "inspect-check OK" in proc.stdout
+    assert "FAILED" not in proc.stdout
+
+    payload = json.loads(report.read_text())
+    assert payload["points"] == 12
+    assert payload["failures"] == []
+    assert sorted(payload["injected"].values()) \
+        == ["invariant", "outlier"]
+    assert sorted(a["check"] for a in payload["flagged"]) \
+        == ["invariant", "outlier"]
+    assert sorted(payload["resimulated"]) \
+        == sorted(payload["injected"])
+    # the kept store ends healed: no standing quarantine
+    assert '"record": "annotation"' in store.read_text()
