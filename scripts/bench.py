@@ -30,6 +30,15 @@ exit code is nonzero if any gate fails.
 ``notes.pool_chunksize`` in the committed ``BENCH_pipeline.json`` —
 the throughput numbers and the ``--check`` gate reference are left
 untouched.
+
+``--sweep`` measures end-to-end sweep throughput (points/sec on the
+``ltp-queues`` preset, kernel engine, pool executor) with trace-shared
+batching on versus off, and records both rates plus their ratio under
+``sweep_points_per_sec`` in the committed ``BENCH_pipeline.json``.
+``--sweep --check`` gates instead of recording: the fresh
+batched/unbatched ratio must stay within
+:data:`PER_CONFIG_TOLERANCE` of the committed ratio *and* above the
+absolute :data:`SWEEP_SPEEDUP_FLOOR`.
 """
 
 from __future__ import annotations
@@ -188,6 +197,111 @@ def tune_chunksize(args) -> int:
     return 0
 
 
+# --sweep: end-to-end sweep throughput, batched vs unbatched ---------
+#: the paper's headline sweep shape: queue sizes x LTP on/off across
+#: every workload, 6 points per trace identity — exactly the work the
+#: batched execution layer amortizes
+SWEEP_PRESET = "ltp-queues"
+SWEEP_WARMUP = 300
+SWEEP_MEASURE = 300
+#: best-of-N per leg: timing noise only ever slows a run, so more
+#: repeats converge each leg to its true floor and stabilise the ratio
+SWEEP_REPEATS = 4
+#: --sweep --check also enforces this absolute batched/unbatched
+#: ratio, independent of the committed reference
+SWEEP_SPEEDUP_FLOOR = float(os.environ.get("BENCH_SWEEP_FLOOR", "1.5"))
+
+
+def _time_sweep(spec, jobs: int, batch_size,
+                repeats: int):
+    """Best-of-N wall time for one executor leg (fresh caches, no
+    result caching, so every repeat simulates every point)."""
+    import tempfile
+    import time as time_mod
+
+    from repro.api import ProcessPoolBackend, Session
+
+    best = None
+    points = 0
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as scratch, \
+                Session(cache_dir=scratch) as session:
+            backend = ProcessPoolBackend(jobs=jobs,
+                                         batch_size=batch_size)
+            start = time_mod.perf_counter()
+            results = session.sweep(spec, use_cache=False,
+                                    backend=backend)
+            elapsed = time_mod.perf_counter() - start
+        points = len(results)
+        best = elapsed if best is None else min(best, elapsed)
+    return points, best
+
+
+def sweep_bench(args) -> int:
+    """Measure (or gate) batched vs unbatched sweep throughput."""
+    from repro.harness.experiments import sweep_preset
+    from repro.harness.runner import default_jobs
+
+    jobs = args.jobs if args.jobs else default_jobs()
+    spec = sweep_preset(SWEEP_PRESET, warmup=SWEEP_WARMUP,
+                        measure=SWEEP_MEASURE)
+    spec.engine = "kernel"
+
+    points, unbatched_s = _time_sweep(spec, jobs, 1, SWEEP_REPEATS)
+    unbatched = points / unbatched_s
+    print(f"unbatched (batch_size=1): {unbatched_s:.2f}s "
+          f"({points} points, {unbatched:.1f} points/sec)")
+    points, batched_s = _time_sweep(spec, jobs, None, SWEEP_REPEATS)
+    batched = points / batched_s
+    print(f"batched   (batch_size=auto): {batched_s:.2f}s "
+          f"({points} points, {batched:.1f} points/sec)")
+    speedup = batched / unbatched
+    print(f"batched/unbatched sweep speedup: {speedup:.2f}x "
+          f"({jobs} worker(s), preset {SWEEP_PRESET}, "
+          f"warmup {SWEEP_WARMUP}, measure {SWEEP_MEASURE})")
+
+    if args.check:
+        reference = (load_reference(args.output)
+                     .get("sweep_points_per_sec") or {})
+        ref_speedup = reference.get("speedup")
+        failures = 0
+        if speedup < SWEEP_SPEEDUP_FLOOR:
+            failures += 1
+            print(f"sweep check REGRESSION: speedup {speedup:.2f}x "
+                  f"below the absolute floor "
+                  f"{SWEEP_SPEEDUP_FLOOR:.2f}x")
+        if ref_speedup:
+            floor = ref_speedup * (1.0 - PER_CONFIG_TOLERANCE)
+            if speedup < floor:
+                failures += 1
+                print(f"sweep check REGRESSION: speedup {speedup:.2f}x "
+                      f"vs committed {ref_speedup:.2f}x (floor "
+                      f"{floor:.2f}x, tolerance "
+                      f"{PER_CONFIG_TOLERANCE:.0%})")
+        if not failures:
+            print("sweep check OK")
+        return 1 if failures else 0
+
+    document = load_reference(args.output)
+    document["sweep_points_per_sec"] = {
+        "preset": SWEEP_PRESET,
+        "warmup": SWEEP_WARMUP, "measure": SWEEP_MEASURE,
+        "engine": "kernel",
+        "points": points,
+        "jobs": jobs,
+        "cpus": os.cpu_count(),
+        "unbatched": round(unbatched, 2),
+        "batched": round(batched, 2),
+        "speedup": round(speedup, 3),
+        "generated": datetime.now(timezone.utc).isoformat(),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"recorded sweep_points_per_sec in {args.output}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark the timing pipeline (simulated insts/sec)")
@@ -215,13 +329,21 @@ def main(argv=None) -> int:
                         help="benchmark pool dispatch chunk sizes on "
                              "the policy-compare preset and record "
                              "them under the output's notes")
+    parser.add_argument("--sweep", action="store_true",
+                        help="benchmark end-to-end sweep throughput "
+                             "(ltp-queues preset) batched vs "
+                             "unbatched; with --check, gate instead "
+                             "of recording")
     parser.add_argument("--jobs", type=int, default=None,
-                        help="worker processes for --tune-chunksize "
-                             "(default: REPRO_JOBS / CPU count)")
+                        help="worker processes for --tune-chunksize / "
+                             "--sweep (default: REPRO_JOBS / CPU "
+                             "count)")
     args = parser.parse_args(argv)
 
     if args.tune_chunksize:
         return tune_chunksize(args)
+    if args.sweep:
+        return sweep_bench(args)
 
     reference = load_reference(args.output) if args.check else {}
 
@@ -246,10 +368,15 @@ def main(argv=None) -> int:
     else:
         output = args.output
         document = harness.attach_baseline(document)
-        # keep --tune-chunksize notes through re-measurements
-        notes = load_reference(output).get("notes")
+        # keep --tune-chunksize notes and the --sweep throughput
+        # record through re-measurements
+        committed = load_reference(output)
+        notes = committed.get("notes")
         if notes:
             document["notes"] = notes
+        sweep_record = committed.get("sweep_points_per_sec")
+        if sweep_record:
+            document["sweep_points_per_sec"] = sweep_record
 
     with open(output, "w") as fh:
         json.dump(document, fh, indent=2, sort_keys=True)

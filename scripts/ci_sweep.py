@@ -43,6 +43,12 @@ a clean run.
 sweep; every subcommand must be given the same values (the store binds
 the spec's ``sweep_id`` and refuses a mismatch).  The driver is plain
 :mod:`repro.api` — anything it does can be scripted directly.
+
+``run``, ``coordinate`` and ``remote`` take ``--batch-size``: the cap
+on how many trace-identical points execute as one trace-shared batch
+(``1`` disables batching).  CI's batched-equivalence job runs the same
+sweep batched and unbatched and ``compare``\\ s the stores, proving
+batching is a pure optimisation.
 """
 
 from __future__ import annotations
@@ -94,8 +100,9 @@ def add_spec_options(parser: argparse.ArgumentParser) -> None:
 def cmd_run(args) -> int:
     spec = build_spec(args)
     shard = parse_shard(args.shard) if args.shard else None
+    backend = backend_for_jobs(args.jobs, batch_size=args.batch_size)
     with Session() as session, ResultStore(args.store) as store:
-        results = session.sweep(spec, backend=backend_for_jobs(args.jobs),
+        results = session.sweep(spec, backend=backend,
                                 store=store, shard=shard)
     simulated = sum(1 for r in results if not r.cached)
     label = f"shard {args.shard}" if args.shard else "unsharded"
@@ -108,7 +115,8 @@ def cmd_coordinate(args) -> int:
     """Run every shard of the sweep from this one process."""
     spec = build_spec(args)
     coordinator = CoordinatorBackend(shards=args.shards, jobs=args.jobs,
-                                     chunksize=args.chunksize)
+                                     chunksize=args.chunksize,
+                                     batch_size=args.batch_size)
     with Session() as session, ResultStore(args.store) as store:
         results = coordinator.run(session, spec, store=store)
     simulated = sum(1 for r in results if not r.cached)
@@ -256,11 +264,14 @@ def cmd_remote(args) -> int:
                     "worker listening on ")
                 workers.append((proc, addr))
             fleet = ",".join(addr for _, addr in workers)
+            extra = ["--executor", "remote", "--workers", fleet,
+                     "--max-retries", str(args.max_retries),
+                     "--store", str(args.store), "--no-cache"]
+            if args.batch_size is not None:
+                extra += ["--batch-size", str(args.batch_size)]
             sweep = subprocess.Popen(
-                [sys.executable, "-m", "repro", *_sweep_argv(args, [
-                    "--executor", "remote", "--workers", fleet,
-                    "--max-retries", str(args.max_retries),
-                    "--store", str(args.store), "--no-cache"])],
+                [sys.executable, "-m", "repro",
+                 *_sweep_argv(args, extra)],
                 env=_repro_env())
             if args.kill_one:
                 _kill_one_mid_sweep(args.store, workers[0][0])
@@ -515,6 +526,10 @@ def main(argv=None) -> int:
     run_p.add_argument("--shard", default=None, metavar="I/K")
     run_p.add_argument("--store", type=Path, required=True)
     run_p.add_argument("--jobs", "-j", type=int, default=1)
+    run_p.add_argument("--batch-size", type=int, default=None,
+                       metavar="N",
+                       help="cap on trace-identical points executed "
+                            "as one batch (1 disables batching)")
     run_p.set_defaults(func=cmd_run)
 
     coord_p = sub.add_parser(
@@ -525,6 +540,11 @@ def main(argv=None) -> int:
     coord_p.add_argument("--store", type=Path, required=True)
     coord_p.add_argument("--jobs", "-j", type=int, default=None)
     coord_p.add_argument("--chunksize", type=int, default=None)
+    coord_p.add_argument("--batch-size", type=int, default=None,
+                         metavar="N",
+                         help="cap on trace-identical points executed "
+                              "as one batch (1 disables batching; "
+                              "batches never span shards)")
     coord_p.set_defaults(func=cmd_coordinate)
 
     compare_p = sub.add_parser(
@@ -555,6 +575,11 @@ def main(argv=None) -> int:
     remote_p.add_argument("--kill-one", action="store_true",
                           help="kill one worker after the first "
                                "landed point (retry-on-survivors)")
+    remote_p.add_argument("--batch-size", type=int, default=None,
+                          metavar="N",
+                          help="cap on trace-identical points sent as "
+                               "one run_batch frame (1 disables "
+                               "batching)")
     remote_p.add_argument("--store", type=Path, required=True)
     remote_p.set_defaults(func=cmd_remote)
 

@@ -29,8 +29,8 @@ base class's ``execute()`` shim; third-party iterator-style backends
 
 from __future__ import annotations
 
-from typing import (TYPE_CHECKING, Iterator, List, Optional, Protocol,
-                    runtime_checkable)
+from typing import (TYPE_CHECKING, Any, Dict, Iterator, List, Optional,
+                    Protocol, runtime_checkable)
 
 from repro.api.exec import (Outcome, PoolExecutor, SerialExecutor,
                             WorkItem, _pool_worker)
@@ -58,7 +58,7 @@ class ExecutionBackend(Protocol):
         ...  # pragma: no cover - protocol
 
 
-@register_executor("serial", options=("max_retries",))
+@register_executor("serial", options=("max_retries", "batch_size"))
 class SerialBackend(SerialExecutor):
     """Run every configuration in-process, in submission order."""
 
@@ -67,24 +67,29 @@ class SerialBackend(SerialExecutor):
 
 
 @register_executor("process-pool",
-                   options=("jobs", "chunksize", "max_retries"))
+                   options=("jobs", "chunksize", "max_retries",
+                            "batch_size"))
 class ProcessPoolBackend(PoolExecutor):
     """Fan configurations over a ``multiprocessing`` pool.
 
     ``jobs=None`` uses :func:`repro.harness.runner.default_jobs`
-    (``REPRO_JOBS`` env var, else the CPU count); ``chunksize``
-    controls how many items ride one worker round trip.  Batches that
-    would not benefit from a pool (one pending item, or one worker)
-    degrade to in-process execution.
+    (``REPRO_JOBS`` env var, else the CPU count); ``batch_size`` caps
+    how many trace-identical points ride one worker round trip
+    (``chunksize`` keeps acting as that cap when no ``batch_size`` is
+    given).  Queues that would not benefit from a pool (one pending
+    item, or one worker) degrade to in-process execution.
     """
 
     def __repr__(self) -> str:
         return (f"ProcessPoolBackend(jobs={self.jobs!r}, "
-                f"chunksize={self.chunksize!r})")
+                f"chunksize={self.chunksize!r}, "
+                f"batch_size={self.batch_size!r})")
 
 
 def backend_for_jobs(jobs: Optional[int],
-                     chunksize: Optional[int] = None) -> "ExecutionBackend":
+                     chunksize: Optional[int] = None,
+                     batch_size: Optional[int] = None,
+                     ) -> "ExecutionBackend":
     """The execution backend a ``--jobs N`` style flag selects.
 
     ``1`` is the plain in-process ``"serial"`` executor; anything else
@@ -95,8 +100,11 @@ def backend_for_jobs(jobs: Optional[int],
     executor (or explicit options) should use
     :func:`repro.api.executors.build_executor` directly.
     """
+    options: Dict[str, Any] = {}
+    if batch_size is not None:
+        options["batch_size"] = batch_size
     if jobs == 1:
-        return build_executor("serial")
+        return build_executor("serial", **options)
     return build_executor("process-pool",
                           jobs=None if jobs == 0 else jobs,
-                          chunksize=chunksize)
+                          chunksize=chunksize, **options)

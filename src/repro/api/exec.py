@@ -18,8 +18,15 @@ pieces:
   cancellation (``cancel_all`` stops dispatching but drains whatever
   is already in flight).
 * :class:`SerialExecutor` / :class:`PoolExecutor` — the in-process and
-  ``multiprocessing`` implementations (the pool dispatches in chunks,
-  tunable via ``chunksize``).
+  ``multiprocessing`` implementations.  Both dispatch
+  :class:`BatchWorkItem`\\ s: queued futures sharing one trace
+  identity (workload + total trace length + cache policy + shard) are
+  grouped so each dispatch pays one trace generation, one workload
+  build and one columnar predecode for the whole group (the
+  :class:`~repro.api.session.BatchRunner` amortization).  ``batch_size``
+  caps the group; the pool's legacy ``chunksize`` acts as that cap
+  when no ``batch_size`` is given, so tuned call sites keep their
+  dispatch granularity.
 * :class:`LegacyBackendAdapter` — wraps an iterator-style backend so
   pre-submission backends keep working (with a ``DeprecationWarning``).
 * :class:`CoordinatorBackend` — expands a
@@ -37,7 +44,10 @@ or ``failed`` once, with zero or more ``retried`` events in between
 (one per redispatch after a worker failure); an item cancelled before
 it starts emits ``cancelled`` instead.  Events are delivered on the
 thread iterating ``as_completed()``, in a deterministic order for
-serial execution.
+serial execution.  Batching never changes any of this: points landing
+from one batch still emit their lifecycle events per point, exactly
+once, and a batch that fails mid-flight retries only its unfinished
+points.
 """
 
 from __future__ import annotations
@@ -62,6 +72,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 WorkItem = Tuple[int, "SimConfig", bool]
 #: a completed unit: position, stats dict, wall seconds, result source
 Outcome = Tuple[int, Dict[str, Any], float, str]
+
+#: default cap on trace-shared batch size when neither ``batch_size``
+#: nor a legacy ``chunksize`` is given: large enough to amortize trace
+#: generation and predecode, small enough that progress events, retry
+#: granularity and work stealing stay responsive
+DEFAULT_BATCH_SIZE = 16
 
 # ----------------------------------------------------------------------
 # lifecycle events
@@ -286,23 +302,74 @@ class SimFuture:
 
 
 # ----------------------------------------------------------------------
+# trace-shared batches
+# ----------------------------------------------------------------------
+def _batch_key(future: SimFuture) -> Tuple[Optional[int], str, int, bool]:
+    """The grouping identity for trace-shared batching.
+
+    Futures batch together when they share a coordinator shard, a
+    workload, a total trace length (``warmup + measure``) and a cache
+    policy — exactly the inputs one trace generation + one predecode
+    can serve.  The engine is deliberately *not* part of the key: the
+    predecode is done lazily, only when a batch member actually uses
+    the kernel engine.
+    """
+    config = future.config
+    return (future.shard, config.workload,
+            config.warmup + config.measure, future.use_cache)
+
+
+@dataclass
+class BatchWorkItem:
+    """A trace-homogeneous slice of the queue, dispatched as one unit.
+
+    Every member future shares the :func:`_batch_key` identity (a
+    cancelled future travels alone), so an executor can run the whole
+    group through one :class:`~repro.api.session.BatchRunner` — or one
+    ``run_batch`` protocol frame — while still resolving each member
+    per point.
+    """
+
+    futures: List[SimFuture]
+
+    def __len__(self) -> int:
+        return len(self.futures)
+
+    @property
+    def workload(self) -> str:
+        return self.futures[0].config.workload
+
+    @property
+    def length(self) -> int:
+        config = self.futures[0].config
+        return config.warmup + config.measure
+
+    @property
+    def use_cache(self) -> bool:
+        return self.futures[0].use_cache
+
+    @property
+    def shard(self) -> Optional[int]:
+        return self.futures[0].shard
+
+
+# ----------------------------------------------------------------------
 # pool worker functions (module-level: picklable for any start method)
 # ----------------------------------------------------------------------
 #: per-process sessions for pool workers driving a non-default cache dir
 _worker_sessions: Dict[str, "Session"] = {}
 
 
-def _pool_worker(item: Tuple[int, "SimConfig", bool, str]) -> Outcome:
-    """Simulate one configuration inside a pool worker.
+def _worker_session(cache_dir: str) -> "Session":
+    """The session a pool worker runs against.
 
-    Runs against the worker's default session (with ``fork`` this
-    inherits the parent's session state, including any test overrides
-    on :mod:`repro.harness.runner`); when the parent session uses a
-    different cache directory, a per-directory worker session is
-    created so disk-cache writes land where the parent will look for
-    them.
+    The worker's default (shim) session — with ``fork`` this inherits
+    the parent's session state, including any test overrides on
+    :mod:`repro.harness.runner` — unless the parent session uses a
+    different cache directory, in which case a per-directory worker
+    session is created so disk-cache writes land where the parent will
+    look for them.
     """
-    index, config, use_cache, cache_dir = item
     from repro.harness import runner
     session = runner._shim_session()
     if cache_dir and str(session.results.directory) != cache_dir:
@@ -311,17 +378,51 @@ def _pool_worker(item: Tuple[int, "SimConfig", bool, str]) -> Outcome:
             from repro.api.session import Session
             session = Session(cache_dir=cache_dir)
             _worker_sessions[cache_dir] = session
-        result = session.run(config, use_cache=use_cache)
-    else:
-        result = runner.run_sim_result(config, use_cache=use_cache)
+    return session
+
+
+def _pool_worker(item: Tuple[int, "SimConfig", bool, str]) -> Outcome:
+    """Simulate one configuration inside a pool worker."""
+    index, config, use_cache, cache_dir = item
+    result = _worker_session(cache_dir).run(config, use_cache=use_cache)
     return index, result.stats, result.wall_time_s, result.source
 
 
 def _chunk_worker(
         payloads: Sequence[Tuple[int, "SimConfig", bool, str]]
-) -> List[Outcome]:
-    """Simulate a chunk of configurations in one worker round trip."""
-    return [_pool_worker(payload) for payload in payloads]
+) -> List[Any]:
+    """Simulate a chunk of configurations in one worker round trip.
+
+    The batched pool dispatches trace-homogeneous chunks (one
+    workload, one total trace length, one cache policy), which run
+    through a session :class:`~repro.api.session.BatchRunner`: one
+    trace generation, one workload build, one predecode for the whole
+    chunk.  A per-point failure comes back in-band as a five-tuple
+    ``(index, None, 0.0, "", error)`` — alongside the usual four-tuple
+    :data:`Outcome` successes — so one bad point costs one single-item
+    retry instead of re-failing the whole chunk.  Heterogeneous chunks
+    (legacy dispatchers, hand-built batches) fall back to per-item
+    execution.
+    """
+    identities = {(config.workload, config.warmup + config.measure,
+                   use_cache)
+                  for _, config, use_cache, _ in payloads}
+    if len(payloads) < 2 or len(identities) != 1:
+        return [_pool_worker(payload) for payload in payloads]
+    _, first, _, cache_dir = payloads[0]
+    runner = _worker_session(cache_dir).batch_runner(
+        first.workload, first.warmup + first.measure)
+    outcomes: List[Any] = []
+    for index, config, use_cache, _ in payloads:
+        try:
+            result = runner.run(config, use_cache=use_cache)
+        except Exception as exc:  # noqa: BLE001 - reported in-band
+            outcomes.append((index, None, 0.0, "",
+                             f"{type(exc).__name__}: {exc}"))
+        else:
+            outcomes.append((index, result.stats, result.wall_time_s,
+                             result.source))
+    return outcomes
 
 
 # ----------------------------------------------------------------------
@@ -341,15 +442,23 @@ class ExecutorBackend:
         How many times a failing work item is redispatched before its
         exception surfaces on the :class:`SimFuture` (default 1, so a
         transient worker crash costs one retry).
+    batch_size:
+        Cap on how many trace-identical futures one
+        :class:`BatchWorkItem` groups (``None`` = executor-specific
+        default; ``1`` disables batching entirely).
     """
 
     #: short identifier recorded in :class:`repro.api.result.SimResult`
     name = "?"
 
-    def __init__(self, max_retries: int = 1) -> None:
+    def __init__(self, max_retries: int = 1,
+                 batch_size: Optional[int] = None) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.max_retries = max_retries
+        self.batch_size = batch_size
         self._session: Optional["Session"] = None
         self._callbacks: List[ProgressCallback] = []
         #: submitted futures not yet taken by the drive loop
@@ -425,6 +534,38 @@ class ExecutorBackend:
     def _on_future_cancelled(self, future: SimFuture) -> None:
         self._emit(EVENT_CANCELLED, future)
 
+    # -- batch formation -------------------------------------------------
+    def _next_batch(self,
+                    limit: Optional[int] = None
+                    ) -> Optional[BatchWorkItem]:
+        """Pop the next :class:`BatchWorkItem` off the queue.
+
+        Takes the queue head plus every queued future sharing its
+        :func:`_batch_key` identity (up to *limit*); non-matching
+        futures keep their relative order.  A cancelled head travels
+        alone so the drive loops resolve it without touching a batch.
+        Queue order is preserved *within* each trace identity, and a
+        sweep's expansion is workload-major, so batching a sweep never
+        reorders how its points land.
+        """
+        if not self._queue:
+            return None
+        head = self._queue.popleft()
+        if head.cancelled() or (limit is not None and limit <= 1):
+            return BatchWorkItem([head])
+        key = _batch_key(head)
+        futures = [head]
+        kept: "Deque[SimFuture]" = deque()
+        while self._queue:
+            future = self._queue.popleft()
+            if (len(futures) != limit and not future.cancelled()
+                    and _batch_key(future) == key):
+                futures.append(future)
+            else:
+                kept.append(future)
+        self._queue.extend(kept)
+        return BatchWorkItem(futures)
+
     def shutdown(self) -> None:
         """Release executor resources (pools close themselves per drive)."""
 
@@ -433,28 +574,57 @@ class ExecutorBackend:
         """Resolve and yield every submitted future, completion order."""
         raise NotImplementedError  # pragma: no cover - abstract
 
-    def _drain_inline(self, session: "Session") -> Iterator[SimFuture]:
-        """Run the queue in-process, in submission order (shared by the
-        serial executor and the pool's small-batch degradation)."""
+    def _drain_inline(self, session: "Session",
+                      limit: Optional[int] = None) -> Iterator[SimFuture]:
+        """Run the queue in-process, batched, in submission order
+        (shared by the serial executor and the pool's small-batch
+        degradation).
+
+        Trace-identical runs of the queue execute through one
+        :class:`~repro.api.session.BatchRunner`, so the trace is
+        generated (and, for kernel points, predecoded) once per batch;
+        each point still starts, finishes, retries and resolves
+        individually, exactly as unbatched execution would.  *limit*
+        overrides the executor's own ``batch_size`` cap (the pool
+        passes its resolved dispatch cap when it degrades inline).
+        """
+        if limit is None:
+            limit = self.batch_size
         self._cancelling = False
         while self._queue:
-            future = self._queue.popleft()
-            if future.cancelled():
+            batch = self._next_batch(limit)
+            runner = None
+            for future in batch.futures:
+                # cancel_all between points of a batch must cancel the
+                # batch's not-yet-started remainder, exactly as it
+                # cancels the queued futures it can still see
+                if self._cancelling and not future.done():
+                    future.cancel()
+                if future.cancelled():
+                    yield future
+                    continue
+                if runner is None and len(batch) > 1:
+                    runner = session.batch_runner(batch.workload,
+                                                  batch.length)
+                future._set_running()
+                self._emit(EVENT_STARTED, future)
+                self._run_one_inline(session, future, runner=runner)
                 yield future
-                continue
-            future._set_running()
-            self._emit(EVENT_STARTED, future)
-            self._run_one_inline(session, future)
-            yield future
 
-    def _run_one_inline(self, session: "Session",
-                        future: SimFuture) -> None:
-        """One item, in-process, with bounded retries."""
+    def _run_one_inline(self, session: "Session", future: SimFuture,
+                        runner: Any = None) -> None:
+        """One item, in-process, with bounded retries.
+
+        With a *runner* (a :class:`~repro.api.session.BatchRunner`),
+        the point executes against the batch's shared trace state;
+        semantics are otherwise identical to ``session.run``.
+        """
+        run = session.run if runner is None else runner.run
         while True:
             future.attempts += 1
             try:
-                result = session.run(future.config,
-                                     use_cache=future.use_cache)
+                result = run(future.config,
+                             use_cache=future.use_cache)
             except Exception as exc:  # noqa: BLE001 - retried/surfaced
                 if future.attempts <= self.max_retries:
                     self._emit(EVENT_RETRIED, future, error=str(exc))
@@ -497,7 +667,15 @@ class ExecutorBackend:
 
 
 class SerialExecutor(ExecutorBackend):
-    """Run every submitted configuration in-process, submission order."""
+    """Run every submitted configuration in-process, submission order.
+
+    Trace-identical runs of the queue are batched through one
+    :class:`~repro.api.session.BatchRunner` (``batch_size=None``
+    groups without bound; ``1`` restores strictly unbatched
+    execution).  Results, lifecycle events and completion order are
+    identical either way — a sweep's expansion is workload-major, so
+    its batches are exactly the already-adjacent runs of points.
+    """
 
     name = "serial"
 
@@ -509,13 +687,18 @@ class PoolExecutor(ExecutorBackend):
     """Fan submitted configurations over a ``multiprocessing`` pool.
 
     ``jobs=None`` uses :func:`repro.harness.runner.default_jobs`
-    (``REPRO_JOBS`` env var, else the CPU count).  Batches that would
+    (``REPRO_JOBS`` env var, else the CPU count).  Queues that would
     not benefit from a pool (one pending item, or one worker) degrade
-    to in-process execution.  Work is dispatched in chunks of
-    ``chunksize`` items per worker round trip (``None`` = a
-    deterministic heuristic; see ``scripts/bench.py --tune-chunksize``
-    for measurements); retries are always redispatched singly so one
-    bad item cannot re-fail a whole chunk.
+    to in-process execution.  The unit of worker dispatch is the
+    :class:`BatchWorkItem`: trace-identical queued futures travel
+    together (capped by ``batch_size``), and the worker runs the whole
+    group through one :class:`~repro.api.session.BatchRunner` — one
+    trace generation, one predecode per dispatch.  The legacy
+    ``chunksize`` knob survives as the batch cap when ``batch_size``
+    is not given (its old heuristic is subsumed by batch sizing; see
+    ``scripts/bench.py --tune-chunksize``).  Per-point failures come
+    back in-band and are redispatched singly with per-point
+    ``attempts``, so one bad point cannot re-fail a whole batch.
 
     Retry covers exceptions *raised by* a worker.  A worker process
     dying outright (SIGKILL, OOM) is a ``multiprocessing.Pool`` blind
@@ -537,8 +720,9 @@ class PoolExecutor(ExecutorBackend):
     def __init__(self, jobs: Optional[int] = None,
                  start_method: Optional[str] = None,
                  chunksize: Optional[int] = None,
-                 max_retries: int = 1) -> None:
-        super().__init__(max_retries=max_retries)
+                 max_retries: int = 1,
+                 batch_size: Optional[int] = None) -> None:
+        super().__init__(max_retries=max_retries, batch_size=batch_size)
         self.jobs = jobs
         self.start_method = start_method
         self.chunksize = chunksize
@@ -556,6 +740,20 @@ class PoolExecutor(ExecutorBackend):
         # events stay reasonably fine-grained
         return max(1, min(8, items // (workers * 4)))
 
+    def _resolved_batch_size(self, items: int, workers: int) -> int:
+        """The cap on one dispatched batch.
+
+        An explicit ``batch_size`` wins; an explicit ``chunksize``
+        keeps acting as the dispatch-granularity cap it always was;
+        otherwise batches grow to :data:`DEFAULT_BATCH_SIZE` (bounded
+        by a fair per-worker share of the queue).
+        """
+        if self.batch_size is not None:
+            return max(1, self.batch_size)
+        if self.chunksize is not None:
+            return self._resolved_chunksize(items, workers)
+        return max(1, min(DEFAULT_BATCH_SIZE, items // max(1, workers)))
+
     def as_completed(self) -> Iterator[SimFuture]:
         session = self._require_session()
         total = len(self._queue)
@@ -563,7 +761,8 @@ class PoolExecutor(ExecutorBackend):
             return
         jobs = self._resolved_jobs()
         if jobs <= 1 or total == 1:
-            yield from self._drain_inline(session)
+            yield from self._drain_inline(
+                session, self._resolved_batch_size(total, 1))
             return
         yield from self._drive_pool(session, total, jobs)
 
@@ -580,7 +779,7 @@ class PoolExecutor(ExecutorBackend):
             method = "fork" if "fork" in methods else None
         ctx = multiprocessing.get_context(method)
         workers = min(jobs, total)
-        chunksize = self._resolved_chunksize(total, workers)
+        batch_limit = self._resolved_batch_size(total, workers)
         max_inflight = workers * self.BACKLOG_PER_WORKER
 
         done_q: "queue_mod.SimpleQueue" = queue_mod.SimpleQueue()
@@ -604,9 +803,9 @@ class PoolExecutor(ExecutorBackend):
         def fill_window(pool) -> None:
             while (inflight < max_inflight and self._queue
                    and not self._cancelling):
+                group = self._next_batch(batch_limit)
                 batch: List[SimFuture] = []
-                while self._queue and len(batch) < chunksize:
-                    future = self._queue.popleft()
+                for future in group.futures:
                     if future.cancelled():
                         resolved.append(future)
                         continue
@@ -643,7 +842,14 @@ class PoolExecutor(ExecutorBackend):
                 inflight -= 1
                 if status == "ok":
                     for future, outcome in zip(batch, payload):
-                        _, stats, wall, source = outcome
+                        error = outcome[4] if len(outcome) > 4 else None
+                        if error:
+                            # in-band per-point failure from a batched
+                            # chunk: retry just this point, singly
+                            self._land_point_failure(pool, future, error,
+                                                     resolved, dispatch)
+                            continue
+                        _, stats, wall, source = outcome[:4]
                         result = SimResult(
                             config=future.config, stats=stats,
                             key=future.key, source=source,
@@ -665,30 +871,38 @@ class PoolExecutor(ExecutorBackend):
         """Retry each item of a failed chunk singly (bounded), unless
         cancelling — then the failure surfaces immediately."""
         for future in batch:
-            if future.attempts <= self.max_retries and not self._cancelling:
-                # emit before bumping attempts so the event carries the
-                # attempt that failed, matching the serial executor
-                self._emit(EVENT_RETRIED, future, error=str(exc))
-                future.attempts += 1
-                dispatch(pool, (future,))
-            else:
-                failure = WorkerFailure(
-                    f"{future.config.workload} ({future.key}) failed "
-                    f"after {future.attempts} attempt(s): {exc}",
-                    attempts=future.attempts)
-                failure.__cause__ = (exc if isinstance(exc, BaseException)
-                                     else None)
-                self._emit(EVENT_FAILED, future, error=str(exc))
-                future._set_exception(failure)
-                resolved.append(future)
+            self._land_point_failure(pool, future, exc, resolved, dispatch)
+
+    def _land_point_failure(self, pool, future, exc, resolved,
+                            dispatch) -> None:
+        """One point's worker failure: bounded single-item retry, or
+        surface the :class:`WorkerFailure` on its future."""
+        if future.attempts <= self.max_retries and not self._cancelling:
+            # emit before bumping attempts so the event carries the
+            # attempt that failed, matching the serial executor
+            self._emit(EVENT_RETRIED, future, error=str(exc))
+            future.attempts += 1
+            dispatch(pool, (future,))
+        else:
+            failure = WorkerFailure(
+                f"{future.config.workload} ({future.key}) failed "
+                f"after {future.attempts} attempt(s): {exc}",
+                attempts=future.attempts)
+            failure.__cause__ = (exc if isinstance(exc, BaseException)
+                                 else None)
+            self._emit(EVENT_FAILED, future, error=str(exc))
+            future._set_exception(failure)
+            resolved.append(future)
 
     def __repr__(self) -> str:
         return (f"PoolExecutor(jobs={self.jobs!r}, "
-                f"chunksize={self.chunksize!r})")
+                f"chunksize={self.chunksize!r}, "
+                f"batch_size={self.batch_size!r})")
 
 
 @register_executor("coordinator",
-                   options=("jobs", "chunksize", "max_retries"))
+                   options=("jobs", "chunksize", "max_retries",
+                            "batch_size"))
 class CoordinatorExecutor(PoolExecutor):
     """The worker pool a coordinated sweep drives (shard-tagged).
 
@@ -812,9 +1026,12 @@ class CoordinatorBackend:
     ----------
     shards:
         Partition count *k* (``None`` = the executor's worker count).
-    jobs / chunksize / max_retries:
+    jobs / chunksize / batch_size / max_retries:
         Forwarded to the default :class:`PoolExecutor` when no
-        *executor* is supplied.
+        *executor* is supplied.  Sharding stays key-stable under
+        batching: the partition is computed per config key first, and
+        each shard's points then re-group into their own
+        :class:`BatchWorkItem`\\ s (batches never span shards).
     executor:
         An explicit :class:`ExecutorBackend` to drive instead.
     """
@@ -825,12 +1042,14 @@ class CoordinatorBackend:
                  jobs: Optional[int] = None,
                  chunksize: Optional[int] = None,
                  max_retries: int = 1,
-                 executor: Optional[ExecutorBackend] = None) -> None:
+                 executor: Optional[ExecutorBackend] = None,
+                 batch_size: Optional[int] = None) -> None:
         if shards is not None and shards < 1:
             raise ValueError("shard count must be >= 1")
         self.shards = shards
         self.jobs = jobs
         self.chunksize = chunksize
+        self.batch_size = batch_size
         self.max_retries = max_retries
         self.executor = executor
         #: counts of the last run, for reporting ({"shards", "points",
@@ -843,6 +1062,7 @@ class CoordinatorBackend:
         from repro.api.executors import build_executor
         return build_executor("coordinator", jobs=self.jobs,
                               chunksize=self.chunksize,
+                              batch_size=self.batch_size,
                               max_retries=self.max_retries)
 
     def run(self, session: "Session", spec: "SweepSpec",

@@ -131,7 +131,8 @@ def executor_from_options(name: str,
                           jobs: Optional[int] = None,
                           chunksize: Optional[int] = None,
                           workers: Optional[Sequence[str]] = None,
-                          max_retries: Optional[int] = None):
+                          max_retries: Optional[int] = None,
+                          batch_size: Optional[int] = None):
     """Build the executor a ``--executor NAME`` style flag selects.
 
     Maps the CLI-level knobs onto the registration's declared options
@@ -145,7 +146,8 @@ def executor_from_options(name: str,
     info = executor_info(name)
     provided: Dict[str, Any] = {"jobs": jobs, "chunksize": chunksize,
                                 "workers": workers,
-                                "max_retries": max_retries}
+                                "max_retries": max_retries,
+                                "batch_size": batch_size}
     if name == "serial" and provided["jobs"] == 1:
         provided["jobs"] = None  # serial is exactly one worker
     options: Dict[str, Any] = {}

@@ -4,11 +4,18 @@ Registered as ``"remote"``.  A static list of ``HOST:PORT`` worker
 addresses becomes one :class:`~repro.api.exec.ExecutorBackend`: each
 drive (`as_completed`) connects one link per reachable worker, runs a
 dispatcher thread per link that pops queued futures and round-trips
-them as framed ``run`` requests, and funnels every dispatcher
-observation through a single message queue back to the driving thread
-— so lifecycle events keep their exactly-once guarantees and are
-delivered on the thread iterating ``as_completed()``, exactly like
-the local executors.
+them, and funnels every dispatcher observation through a single
+message queue back to the driving thread — so lifecycle events keep
+their exactly-once guarantees and are delivered on the thread
+iterating ``as_completed()``, exactly like the local executors.
+
+Dispatch is batched: each pop takes a whole
+:class:`~repro.api.exec.BatchWorkItem` (trace-identical futures, up
+to ``batch_size``), shipped as one ``run_batch`` frame so the worker
+pays one trace generation and predecode for the group.  Results come
+back as streamed ``point_done`` sub-frames, so every point still
+starts, finishes, fails and retries individually; a single-future
+batch uses the original ``run`` frame unchanged.
 
 Failure semantics:
 
@@ -17,9 +24,12 @@ Failure semantics:
   not necessarily the failing one — picks it up;
 * a worker going silent longer than ``heartbeat_timeout`` (workers
   heartbeat every couple of seconds while simulating) or dropping the
-  connection marks the *link* dead: its in-flight item is retried on
+  connection marks the *link* dead: its in-flight items are retried on
   the surviving links and the dead link dispatches nothing more this
-  drive (the next drive reconnects from scratch);
+  drive (the next drive reconnects from scratch).  A worker dying
+  mid-batch loses only the batch's *unfinished* points — every
+  ``point_done`` already streamed stays resolved, so the retry
+  re-dispatches (and the store re-simulates) nothing that completed;
 * when retries are exhausted — or no links survive — the item's
   future resolves with :class:`~repro.api.exec.WorkerFailure`; a
   drive that cannot reach *any* worker raises
@@ -33,9 +43,9 @@ import socket
 import threading
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.api.exec import (EVENT_FAILED, EVENT_FINISHED, EVENT_RETRIED,
-                            EVENT_STARTED, ExecutorBackend, SimFuture,
-                            WorkerFailure)
+from repro.api.exec import (DEFAULT_BATCH_SIZE, EVENT_FAILED,
+                            EVENT_FINISHED, EVENT_RETRIED, EVENT_STARTED,
+                            ExecutorBackend, SimFuture, WorkerFailure)
 from repro.api.executors import register_executor
 from repro.api.remote.protocol import (ProtocolError, connect,
                                        format_address, parse_address,
@@ -93,6 +103,39 @@ class _WorkerLink:
                 continue  # still simulating; the timeout restarts
             return frame
 
+    def run_batch(self, futures: Sequence[SimFuture]):
+        """Round-trip one trace-identity batch as a ``run_batch`` frame.
+
+        Yields ``(position, frame)`` for each streamed ``point_done``
+        (``position`` indexes into *futures*), returning after the
+        trailing ``done`` frame.  Heartbeats and point completions
+        both reset the silence clock, so stragglers are judged per
+        point, not per batch.
+        """
+        assert self._sock is not None
+        send_frame(self._sock, {
+            "op": "run_batch", "id": futures[0].key,
+            "items": [{"config": future.config.to_dict(),
+                       "use_cache": future.use_cache}
+                      for future in futures]})
+        while True:
+            frame = recv_frame(self._sock)
+            if frame is None:
+                raise ProtocolError(
+                    f"worker {self.label} closed the connection "
+                    f"mid-batch")
+            op = frame.get("op")
+            if op == "heartbeat":
+                continue  # still simulating; the timeout restarts
+            if op == "point_done":
+                yield int(frame.get("index", -1)), frame
+                continue
+            if op == "done":
+                return  # caller resolves any unfinished leftovers
+            raise ProtocolError(
+                f"worker {self.label} sent unexpected {op!r} frame "
+                f"mid-batch")
+
     def close(self) -> None:
         if self._sock is not None:
             try:
@@ -104,7 +147,7 @@ class _WorkerLink:
 
 @register_executor("remote",
                    options=("workers", "max_retries", "connect_timeout",
-                            "heartbeat_timeout"))
+                            "heartbeat_timeout", "batch_size"))
 class RemoteExecutor(ExecutorBackend):
     """Fan submitted configurations over TCP simulation workers."""
 
@@ -113,8 +156,9 @@ class RemoteExecutor(ExecutorBackend):
     def __init__(self, workers: Sequence[WorkerAddress] = (),
                  max_retries: int = 1,
                  connect_timeout: float = 5.0,
-                 heartbeat_timeout: float = 15.0) -> None:
-        super().__init__(max_retries=max_retries)
+                 heartbeat_timeout: float = 15.0,
+                 batch_size: Optional[int] = None) -> None:
+        super().__init__(max_retries=max_retries, batch_size=batch_size)
         if isinstance(workers, str):
             workers = [part for part in workers.split(",") if part]
         self.addresses: List[Tuple[str, int]] = []
@@ -185,8 +229,22 @@ class RemoteExecutor(ExecutorBackend):
                     yielded += 1
                     continue
                 if kind == "lost":
+                    # a dead link surfaces once, carrying every future
+                    # it still had in flight (a batch loses only its
+                    # unfinished points — streamed point_done results
+                    # already resolved through "done"/"error")
                     alive -= 1
-                if future.cancelled():
+                    for item in future:
+                        if item.cancelled():
+                            yield item
+                            yielded += 1
+                        else:
+                            landed = self._retry_or_fail(
+                                item, payload, alive, work)
+                            if landed is not None:
+                                yield landed
+                                yielded += 1
+                elif future.cancelled():
                     # cancelled between the dispatcher's pop and now:
                     # the `cancelled` event already fired, so discard
                     # the outcome rather than double-resolving
@@ -203,16 +261,11 @@ class RemoteExecutor(ExecutorBackend):
                                wall_time_s=wall)
                     yield future
                     yielded += 1
-                else:  # "error" or "lost": retry or surface
-                    if (future.attempts <= self.max_retries
-                            and alive > 0 and not self._cancelling):
-                        self._emit(EVENT_RETRIED, future, error=payload)
-                        future.attempts += 1
-                        with work:
-                            self._queue.append(future)
-                            work.notify()
-                    else:
-                        yield self._fail(future, payload)
+                else:  # "error": retry or surface
+                    landed = self._retry_or_fail(future, payload,
+                                                 alive, work)
+                    if landed is not None:
+                        yield landed
                         yielded += 1
                 if alive == 0 and yielded < total:
                     # fleet collapsed: nothing queued can ever run
@@ -227,6 +280,23 @@ class RemoteExecutor(ExecutorBackend):
                 link.close()
             for thread in threads:
                 thread.join(timeout=2.0)
+
+    def _retry_or_fail(self, future: SimFuture, error: str, alive: int,
+                       work) -> Optional[SimFuture]:
+        """Re-queue a failed point (bounded) or surface its failure.
+
+        Returns the resolved future when it failed terminally, or
+        ``None`` when it went back on the queue for another worker.
+        """
+        if (future.attempts <= self.max_retries
+                and alive > 0 and not self._cancelling):
+            self._emit(EVENT_RETRIED, future, error=error)
+            future.attempts += 1
+            with work:
+                self._queue.append(future)
+                work.notify()
+            return None
+        return self._fail(future, error)
 
     def _fail(self, future: SimFuture, error: str) -> SimFuture:
         failure = WorkerFailure(
@@ -248,41 +318,93 @@ class RemoteExecutor(ExecutorBackend):
 
     def _serve_link(self, link: _WorkerLink, messages, work,
                     stop: threading.Event) -> None:
-        """Dispatcher thread: pop queued futures, round-trip them."""
+        """Dispatcher thread: pop queued batches, round-trip them.
+
+        Singleton batches ride the original ``run`` frame; larger ones
+        ship as ``run_batch`` and resolve point by point from the
+        streamed ``point_done`` frames, so a link dying mid-batch
+        reports only the points that had not finished.
+        """
+        limit = (self.batch_size if self.batch_size is not None
+                 else DEFAULT_BATCH_SIZE)
         while not stop.is_set():
             with work:
-                try:
-                    future = self._queue.popleft()
-                except IndexError:
+                batch = self._next_batch(limit)
+                if batch is None:
                     work.wait(timeout=0.05)
                     continue
-            if future.cancelled():
-                messages.put(("drop", future, None))
+            futures = batch.futures
+            if len(futures) == 1:
+                if not self._serve_single(link, futures[0], messages):
+                    return  # this link is done for the drive
                 continue
-            messages.put(("dispatch", future, None))
+            for future in futures:
+                messages.put(("dispatch", future, None))
+            unresolved = dict(enumerate(futures))
             try:
-                frame = link.run(future)
+                for position, frame in link.run_batch(futures):
+                    future = unresolved.pop(position, None)
+                    if future is None:
+                        raise ProtocolError(
+                            f"worker {link.label} answered for "
+                            f"unknown batch point {position}")
+                    if frame.get("ok"):
+                        messages.put(("done", future, (
+                            frame.get("stats") or {},
+                            float(frame.get("wall_time_s", 0.0)),
+                            str(frame.get("source", "simulated")))))
+                    else:
+                        messages.put((
+                            "error", future,
+                            str(frame.get("error", "worker error"))))
             except (OSError, ProtocolError) as exc:
                 link.close()
                 messages.put((
-                    "lost", future,
-                    f"worker {link.label} lost: {exc}"))
-                return  # this link is done for the drive
-            if frame.get("op") != "done":
+                    "lost", [unresolved[pos] for pos in sorted(unresolved)],
+                    f"worker {link.label} lost mid-batch: {exc}"))
+                return
+            if unresolved:
+                # the worker ended the batch early (defensive): treat
+                # the unanswered points exactly like a lost link
                 link.close()
                 messages.put((
-                    "lost", future,
-                    f"worker {link.label} sent unexpected "
-                    f"{frame.get('op')!r} frame"))
+                    "lost", [unresolved[pos] for pos in sorted(unresolved)],
+                    f"worker {link.label} ended a batch with "
+                    f"{len(unresolved)} point(s) unanswered"))
                 return
-            if frame.get("ok"):
-                messages.put(("done", future, (
-                    frame.get("stats") or {},
-                    float(frame.get("wall_time_s", 0.0)),
-                    str(frame.get("source", "simulated")))))
-            else:
-                messages.put(("error", future,
-                              str(frame.get("error", "worker error"))))
+
+    def _serve_single(self, link: _WorkerLink, future: SimFuture,
+                      messages) -> bool:
+        """One future over the legacy ``run`` frame; ``False`` when the
+        link died and must stop dispatching."""
+        if future.cancelled():
+            messages.put(("drop", future, None))
+            return True
+        messages.put(("dispatch", future, None))
+        try:
+            frame = link.run(future)
+        except (OSError, ProtocolError) as exc:
+            link.close()
+            messages.put((
+                "lost", [future],
+                f"worker {link.label} lost: {exc}"))
+            return False
+        if frame.get("op") != "done":
+            link.close()
+            messages.put((
+                "lost", [future],
+                f"worker {link.label} sent unexpected "
+                f"{frame.get('op')!r} frame"))
+            return False
+        if frame.get("ok"):
+            messages.put(("done", future, (
+                frame.get("stats") or {},
+                float(frame.get("wall_time_s", 0.0)),
+                str(frame.get("source", "simulated")))))
+        else:
+            messages.put(("error", future,
+                          str(frame.get("error", "worker error"))))
+        return True
 
     def __repr__(self) -> str:
         fleet = ",".join(format_address(a) for a in self.addresses)

@@ -9,6 +9,16 @@ ordinary :class:`~repro.api.session.Session`, and answers with a
 — or ``ok: false`` plus the stringified error, which the dispatching
 executor turns into a bounded retry.
 
+``run_batch`` requests carry a whole trace-identity batch of configs;
+the worker drives them through one
+:class:`~repro.api.session.BatchRunner` (one trace generation, one
+predecode) and streams a ``point_done`` frame per point as it
+finishes, then a trailing ``done``.  The server's session is
+persistent across frames and its workload objects are cached in a
+bounded LRU, so sequential runs/batches of the same workload reuse the
+already-built program and predecoded ``TraceArrays`` instead of
+rebuilding per frame.
+
 While a simulation is running the connection emits ``heartbeat``
 frames every ``heartbeat_interval`` seconds, so a dispatcher with a
 receive timeout can tell a *slow* worker (heartbeats keep arriving)
@@ -25,8 +35,10 @@ ephemeral port; the CLI prints the resolved address as
 
 from __future__ import annotations
 
+import queue as queue_mod
 import socket
 import threading
+from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from repro.api.remote.protocol import (ProtocolError, recv_frame,
@@ -42,6 +54,7 @@ class WorkerServer:
                  session: Optional[Session] = None,
                  heartbeat_interval: float = 2.0) -> None:
         self._session = session or Session()
+        self._install_workload_cache()
         self.heartbeat_interval = heartbeat_interval
         self._run_lock = threading.Lock()
         self._closed = threading.Event()
@@ -52,6 +65,35 @@ class WorkerServer:
         #: the resolved ``(host, port)`` (meaningful with ``port=0``)
         self.address: Tuple[str, int] = self._sock.getsockname()[:2]
         self._accept_thread: Optional[threading.Thread] = None
+
+    def _install_workload_cache(self) -> None:
+        """Cache built workload objects across run/batch frames.
+
+        The session's trace and ``TraceArrays`` LRUs already persist
+        across frames, but every simulation used to rebuild its
+        workload object (program assembly + memory-image generation)
+        from scratch.  Wrapping the session's workload factory in a
+        bounded LRU — sized with the trace LRU it shadows — removes
+        that per-frame redundancy; workload objects are safe to reuse
+        because ``Workload.trace`` builds a fresh interpreter per
+        call.
+        """
+        session = self._session
+        base = session._workload_factory
+        cache: "OrderedDict[str, Any]" = OrderedDict()
+
+        def factory(name: str) -> Any:
+            workload = cache.get(name)
+            if workload is None:
+                workload = base(name)
+                cache[name] = workload
+            cache.move_to_end(name)
+            while len(cache) > session.trace_cache_size:
+                cache.popitem(last=False)
+            return workload
+
+        session._workload_factory = factory
+        self._workload_cache = cache
 
     # ------------------------------------------------------------------
     # lifetime
@@ -127,6 +169,9 @@ class WorkerServer:
         if op == "run":
             self._handle_run(conn, frame)
             return True
+        if op == "run_batch":
+            self._handle_run_batch(conn, frame)
+            return True
         send_frame(conn, {"op": "error", "ok": False,
                           "error": f"unknown op {op!r}"})
         return True
@@ -165,3 +210,65 @@ class WorkerServer:
                           "stats": result.stats,
                           "wall_time_s": result.wall_time_s,
                           "source": result.source})
+
+    def _send_point_done(self, conn: socket.socket,
+                         payload: Dict[str, Any]) -> None:
+        """Stream one per-point batch result (a test seam: failure
+        injection overrides this to tear the connection mid-batch)."""
+        send_frame(conn, payload)
+
+    def _handle_run_batch(self, conn: socket.socket,
+                          frame: Dict[str, Any]) -> None:
+        """One trace-identity batch: stream ``point_done`` per item.
+
+        The simulation thread drives every item through one session
+        :class:`~repro.api.session.BatchRunner`; per-item outcomes
+        (success or error, never an exception) flow back through a
+        queue so the connection thread can interleave heartbeats with
+        ``point_done`` frames while later points still simulate.
+        """
+        request_id = frame.get("id")
+        items = frame.get("items") or []
+        outcomes: "queue_mod.SimpleQueue" = queue_mod.SimpleQueue()
+
+        def simulate() -> None:
+            with self._run_lock:
+                runner = None
+                for position, item in enumerate(items):
+                    payload: Dict[str, Any] = {
+                        "op": "point_done", "id": request_id,
+                        "index": position}
+                    try:
+                        config = SimConfig.from_dict(item["config"])
+                        use_cache = bool(item.get("use_cache", True))
+                        if runner is None:
+                            runner = self._session.batch_runner(
+                                config.workload,
+                                config.warmup + config.measure)
+                        result = runner.run(config, use_cache=use_cache)
+                    except Exception as exc:  # noqa: BLE001 - to peer
+                        payload.update(
+                            ok=False,
+                            error=f"{type(exc).__name__}: {exc}")
+                    else:
+                        payload.update(ok=True, stats=result.stats,
+                                       wall_time_s=result.wall_time_s,
+                                       source=result.source)
+                    outcomes.put(payload)
+
+        thread = threading.Thread(target=simulate,
+                                  name="repro-worker-sim", daemon=True)
+        thread.start()
+        completed = 0
+        while completed < len(items):
+            try:
+                payload = outcomes.get(timeout=self.heartbeat_interval)
+            except queue_mod.Empty:
+                if not thread.is_alive():
+                    break  # defensive: sim thread died unreported
+                send_frame(conn, {"op": "heartbeat", "id": request_id})
+                continue
+            self._send_point_done(conn, payload)
+            completed += 1
+        send_frame(conn, {"op": "done", "id": request_id, "ok": True,
+                          "completed": completed})

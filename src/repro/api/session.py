@@ -251,6 +251,35 @@ class Session:
         return SimResult(config=config, stats=stats, key=key,
                          source=SOURCE_SIMULATED, wall_time_s=elapsed)
 
+    def batch_runner(self, workload: str, length: int) -> "BatchRunner":
+        """A :class:`BatchRunner` for one trace identity.
+
+        Executors hand every point of a ``(workload, warmup+measure)``
+        batch to the returned runner; the trace is generated, the
+        workload built, and (for kernel points) the columnar predecode
+        done once for the whole batch instead of once per point.
+        """
+        return BatchRunner(self, workload, length)
+
+    def run_batch(self, configs: List[SimConfig],
+                  use_cache: bool = True) -> List[SimResult]:
+        """Run a trace-homogeneous batch of configurations in order.
+
+        Every config must share one workload and one total trace
+        length (``warmup + measure``); a :class:`BatchRunner` amortizes
+        trace generation and predecode across them.  Each point is
+        otherwise identical to :meth:`run` — same cache lookups, same
+        result shape — so the outputs are bit-identical to running the
+        configs one at a time.
+        """
+        if not configs:
+            return []
+        first = configs[0]
+        runner = self.batch_runner(first.workload,
+                                   first.warmup + first.measure)
+        return [runner.run(config, use_cache=use_cache)
+                for config in configs]
+
     def _drive(self, backend: Any, config_list: List[SimConfig],
                submission: Iterable[Tuple[int, Optional[int]]],
                use_cache: bool = True,
@@ -480,6 +509,7 @@ class Session:
                    shards: Optional[int] = None,
                    jobs: Optional[int] = None,
                    chunksize: Optional[int] = None,
+                   batch_size: Optional[int] = None,
                    use_cache: bool = True,
                    progress: Optional[ProgressCallback] = None,
                    executor: Optional[ExecutorBackend] = None,
@@ -499,6 +529,7 @@ class Session:
         from repro.api.exec import CoordinatorBackend
         coordinator = CoordinatorBackend(shards=shards, jobs=jobs,
                                          chunksize=chunksize,
+                                         batch_size=batch_size,
                                          executor=executor)
         return coordinator.run(self, spec, store=store,
                                use_cache=use_cache, progress=progress,
@@ -512,7 +543,21 @@ class Session:
         total = config.warmup + config.measure
         trace = self.get_trace(config.workload, total)
         workload = self._workload_factory(config.workload)
+        return self._simulate(config, trace, workload)
 
+    def _simulate(self, config: SimConfig, trace: List[DynInst],
+                  workload: Any,
+                  arrays: Any = None) -> Dict[str, Any]:
+        """Warm and run the timing pipeline over prepared inputs.
+
+        The per-point half of :meth:`_execute`: *trace* and *workload*
+        (and, for the kernel engine, optionally the predecoded
+        *arrays*) are supplied by the caller so a
+        :class:`BatchRunner` can share them across every point of a
+        trace-identity batch while each point still warms and
+        simulates independently.
+        """
+        total = config.warmup + config.measure
         oracle = (self.get_oracle(config.workload, total, config.core,
                                   trace)
                   if policy_needs_oracle(config.policy, config.ltp)
@@ -537,7 +582,8 @@ class Session:
 
         if config.engine == "kernel":
             from repro.core.kernel import KernelPipeline
-            arrays = self.get_trace_arrays(config.workload, total)
+            if arrays is None:
+                arrays = self.get_trace_arrays(config.workload, total)
             pipeline: Pipeline = KernelPipeline(
                 measured, params=config.core, ltp=config.ltp,
                 policy=policy, hierarchy=hierarchy,
@@ -573,6 +619,79 @@ class Session:
         view._oracle_cache = self._oracle_cache
         view._workload_factory = self._workload_factory
         return view
+
+
+class BatchRunner:
+    """Execute one trace-identity batch with shared prepared inputs.
+
+    Created by :meth:`Session.batch_runner` for a batch of
+    configurations sharing a workload and a total trace length — the
+    grouping rule behind the executor layer's
+    :class:`~repro.api.exec.BatchWorkItem`.  The first :meth:`run`
+    call that misses the result cache prepares the shared inputs —
+    one trace generation, one workload build, and (for kernel-engine
+    points) one columnar predecode — and every later call reuses
+    them.  This lifts the amortization
+    :func:`repro.core.kernel.simulate_batch` provides at the kernel
+    level up to the session, where result caching, provenance and
+    per-point isolation still apply.
+
+    Each call is otherwise bit-identical to :meth:`Session.run`: the
+    same cache lookup and fill, the same per-point warmup and
+    simulation, the same :class:`~repro.api.result.SimResult` shape.
+    Preparation failures surface on the *calling* point and are
+    re-attempted on the next call, so a transient trace failure costs
+    per-point retries and never poisons the runner.
+    """
+
+    def __init__(self, session: Session, workload: str, length: int):
+        if length <= 0:
+            raise ValueError("batch trace length must be positive")
+        self.session = session
+        self.workload = workload
+        self.length = length
+        self._trace: Optional[List[DynInst]] = None
+        self._workload_obj: Any = None
+        self._arrays: Any = None
+
+    def _check_membership(self, config: SimConfig) -> None:
+        total = config.warmup + config.measure
+        if config.workload != self.workload or total != self.length:
+            raise ValueError(
+                f"config {config.workload!r} (trace length {total}) does "
+                f"not belong to the {self.workload!r}/{self.length} batch")
+
+    def run(self, config: SimConfig, use_cache: bool = True) -> SimResult:
+        """Run one point of the batch; mirrors :meth:`Session.run`."""
+        config.validate()
+        self._check_membership(config)
+        session = self.session
+        key = config.key()
+        if use_cache:
+            hit = session.results.lookup(key)
+            if hit is not None:
+                stats, where = hit
+                source = SOURCE_MEMORY if where == "memory" else SOURCE_DISK
+                return cached_result(config, key, stats, source,
+                                     backend="cache")
+        start = time.perf_counter()
+        if self._trace is None:
+            self._trace = session.get_trace(self.workload, self.length)
+        if self._workload_obj is None:
+            self._workload_obj = session._workload_factory(self.workload)
+        arrays = None
+        if config.engine == "kernel":
+            if self._arrays is None:
+                self._arrays = session.get_trace_arrays(self.workload,
+                                                        self.length)
+            arrays = self._arrays
+        stats = session._simulate(config, self._trace, self._workload_obj,
+                                  arrays=arrays)
+        elapsed = time.perf_counter() - start
+        if use_cache:
+            session.results.put(key, stats)
+        return SimResult(config=config, stats=stats, key=key,
+                         source=SOURCE_SIMULATED, wall_time_s=elapsed)
 
 
 # ======================================================================

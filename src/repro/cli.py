@@ -177,7 +177,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "process-pool executor)")
     sweep_p.add_argument("--chunksize", type=int, default=None,
                          help="work items per pool round trip "
-                              "(default: auto)")
+                              "(default: auto; acts as the batch cap "
+                              "when --batch-size is not given)")
+    sweep_p.add_argument("--batch-size", type=int, default=None,
+                         metavar="N",
+                         help="cap on trace-identical points executed "
+                              "as one batch (one trace generation + "
+                              "predecode per batch; 1 disables "
+                              "batching; default: auto)")
     sweep_p.add_argument("--executor", choices=executor_names(),
                          default=None,
                          help="run through a registered executor "
@@ -549,6 +556,7 @@ def cmd_sweep(args, out) -> int:
             ("--executor", args.executor is not None),
             ("--jobs", args.jobs != 1),
             ("--chunksize", args.chunksize is not None),
+            ("--batch-size", args.batch_size is not None),
             ("--workers", args.workers is not None),
             ("--max-retries", args.max_retries is not None),
             ("--shard", args.shard is not None),
@@ -614,6 +622,7 @@ def cmd_sweep(args, out) -> int:
                 shards=args.shards,
                 jobs=None if args.jobs == 0 else args.jobs,
                 chunksize=args.chunksize,
+                batch_size=args.batch_size,
                 max_retries=(1 if args.max_retries is None
                              else args.max_retries))
             results = coordinator.run(session, spec, store=store,
@@ -628,13 +637,15 @@ def cmd_sweep(args, out) -> int:
                         jobs=None if args.jobs == 1 else args.jobs,
                         chunksize=args.chunksize,
                         workers=args.workers,
-                        max_retries=args.max_retries)
+                        max_retries=args.max_retries,
+                        batch_size=args.batch_size)
                 except ValueError as exc:
                     print(str(exc), file=out)
                     return 2
             else:
                 backend = backend_for_jobs(args.jobs,
-                                           chunksize=args.chunksize)
+                                           chunksize=args.chunksize,
+                                           batch_size=args.batch_size)
             results = session.sweep(spec, use_cache=not args.no_cache,
                                     backend=backend, store=store,
                                     shard=args.shard, progress=reporter,

@@ -104,6 +104,32 @@ def test_ci_sweep_coordinate_matches_shard_union(tmp_path):
     assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
+def test_ci_sweep_batched_equivalence(tmp_path):
+    """The CI batched-equivalence leg: the same sweep coordinated
+    batched and unbatched lands bit-identical stores, both equal to a
+    serial rerun."""
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+    stores = {}
+    for label, batch in (("batched", "8"), ("unbatched", "1")):
+        store = tmp_path / f"{label}.jsonl"
+        stores[label] = store
+        proc = run_driver(["coordinate", "--spec", str(spec_path),
+                           "--shards", "2", "--jobs", "2",
+                           "--batch-size", batch, "--store", str(store)],
+                          tmp_path / label)  # fresh cache per leg
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    proc = run_driver(["compare", str(stores["batched"]),
+                       str(stores["unbatched"])], tmp_path)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "bit-identical" in proc.stdout
+
+    proc = run_driver(["verify", "--spec", str(spec_path),
+                       "--store", str(stores["batched"])], tmp_path)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
 def test_ci_sweep_compare_detects_divergence(tmp_path):
     spec_path = tmp_path / "spec.json"
     spec_path.write_text(json.dumps(SPEC))

@@ -12,7 +12,12 @@ in-process TCP workers) and mock:
   terminal event each),
 * a bound :class:`~repro.api.store.ResultStore` receives every landed
   point,
-* real executors produce statistics bit-identical to a serial run.
+* real executors produce statistics bit-identical to a serial run,
+* the batched contract: trace-identical points grouped into one
+  :class:`~repro.api.exec.BatchWorkItem` keep exactly-once events, a
+  mid-batch failure retries only the failing points with per-point
+  attempt counts, and cancellation mid-batch still resolves every
+  future with one terminal event.
 
 A guard test asserts the harness table covers the full registry, so
 registering a new executor without conformance coverage fails CI.
@@ -26,7 +31,7 @@ import pytest
 
 from repro.api import (ResultStore, Session, SweepSpec, WorkerFailure,
                        WorkerServer, build_executor, executor_names)
-from repro.core.params import baseline_params
+from repro.core.params import CoreParams, baseline_params
 from repro.harness.config import SimConfig
 from repro.ltp.config import no_ltp
 from repro.workloads import mixes
@@ -240,3 +245,103 @@ def test_stats_bit_identical_to_serial(name, tmp_path):
             results = session.sweep(spec, use_cache=False,
                                     backend=executor)
     assert [r.stats for r in results] == [r.stats for r in baseline]
+
+
+# ----------------------------------------------------------------------
+# the batched contract: grouped dispatch must be indistinguishable
+# ----------------------------------------------------------------------
+def make_batch_configs(count=4, workload="compute_int"):
+    """*count* configs sharing one trace identity (hence one batch)."""
+    return [SimConfig(workload=workload,
+                      core=CoreParams(iq_size=16 * (i + 1)).validate(),
+                      ltp=no_ltp(), warmup=150, measure=120)
+            for i in range(count)]
+
+
+def build_batched(name, stack, tmp_path, max_retries, fail_indices):
+    """The harness executor with batching forced on (cap 4)."""
+    executor = HARNESSES[name](stack, tmp_path, max_retries,
+                               fail_indices)
+    executor.batch_size = 4
+    return executor
+
+
+@pytest.mark.parametrize("name", EXECUTORS)
+def test_batched_lifecycle_events_exactly_once(name, tmp_path):
+    """One batch of four points: still one submitted/started/finished
+    triplet per point, never a per-batch event."""
+    configs = make_batch_configs(4)
+    recorder = _Recorder()
+    with contextlib.ExitStack() as stack:
+        executor = build_batched(name, stack, tmp_path, 1, set())
+        session = Session(cache_dir=str(tmp_path / "session"))
+        results = session.run_many(configs, use_cache=False,
+                                   backend=executor, progress=recorder)
+    assert len(results) == 4
+    per_key = recorder.per_key()
+    assert len(per_key) == 4
+    for config in configs:
+        assert per_key[config.key()] == Counter(
+            submitted=1, started=1, finished=1)
+
+
+@pytest.mark.parametrize("name", EXECUTORS)
+def test_mid_batch_failure_retries_only_failing_points(name, tmp_path,
+                                                       boom_workload):
+    """Two doomed points share a batch: each fails and retries
+    individually (its own attempt count), and a clean batch alongside
+    is untouched by their failure."""
+    configs = make_batch_configs(2) + [
+        SimConfig(workload=BOOM,
+                  core=CoreParams(iq_size=16 * (i + 1)).validate(),
+                  ltp=no_ltp(), warmup=150, measure=120)
+        for i in range(2)]
+    recorder = _Recorder()
+    with contextlib.ExitStack() as stack:
+        executor = build_batched(name, stack, tmp_path, 1, {2, 3})
+        session = Session(cache_dir=str(tmp_path / "session"))
+        with pytest.raises(WorkerFailure) as excinfo:
+            session.run_many(configs, use_cache=False,
+                             backend=executor, progress=recorder)
+    assert excinfo.value.attempts == 2
+    per_key = recorder.per_key()
+    for config in configs[:2]:
+        counts = per_key[config.key()]
+        assert counts["finished"] == 1
+        assert counts["retried"] == 0 and counts["failed"] == 0
+    for config in configs[2:]:
+        counts = per_key[config.key()]
+        assert counts["submitted"] == 1
+        assert counts["retried"] == 1
+        assert counts["failed"] == 1
+        assert counts["finished"] == 0
+
+
+@pytest.mark.parametrize("name", EXECUTORS)
+def test_cancel_mid_batch_resolves_every_future(name, tmp_path):
+    """cancel_all fired from inside a batch still resolves every
+    future, one terminal event each (in-flight work drains, the
+    batch's not-yet-started remainder cancels)."""
+    configs = make_batch_configs(4)
+    recorder = _Recorder()
+    with contextlib.ExitStack() as stack:
+        executor = build_batched(name, stack, tmp_path, 1, set())
+        session = Session(cache_dir=str(tmp_path / "session"))
+        executor.bind(session)
+        executor.add_progress_callback(recorder)
+
+        def cancel_after_first(event):
+            if event.kind == "finished":
+                executor.cancel_all()
+
+        executor.add_progress_callback(cancel_after_first)
+        futures = [executor.submit((i, config, False))
+                   for i, config in enumerate(configs)]
+        resolved = list(executor.as_completed())
+    assert len(resolved) == 4
+    assert all(future.done() for future in futures)
+    for future in futures:
+        counts = recorder.per_key()[future.key]
+        terminal = (counts["finished"] + counts["failed"]
+                    + counts["cancelled"])
+        assert terminal == 1
