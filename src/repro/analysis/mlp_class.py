@@ -1,5 +1,10 @@
 """MLP-sensitivity classification (the Section 4.1 rule).
 
+"MLP" here is **memory-level parallelism** — this module is the
+paper's workload-sensitivity rule, not a multi-layer perceptron.  It
+contains no machine learning; the learned parking policies (and their
+trained model) live in :mod:`repro.policies.learned`.
+
 A simulation point is MLP-sensitive when, comparing an IQ-32 core to an
 IQ-256 core (prefetcher on):
 

@@ -573,7 +573,8 @@ class Session:
         warm_branch_predictor(bpred, warmup_slice)
 
         policy = build_policy(config.policy, config.ltp,
-                              config.core.mem.dram_latency, oracle=oracle)
+                              config.core.mem.dram_latency, oracle=oracle,
+                              model=config.model)
         if config.warmup:
             policy.warm_from_trace(
                 warmup_slice,

@@ -432,7 +432,11 @@ def summarize(results: Iterable[SimResult]) -> Dict[str, Any]:
     breakdown, which the renderer turns into a grouped bar chart
     (:func:`repro.harness.charts.grouped_bar_chart`) keyed by the
     ``policy`` axis — so policy sweeps render a policy breakdown
-    without any special-casing upstream.
+    without any special-casing upstream.  When the results include the
+    default (``ltp``) policy as a baseline, each other policy's entry
+    also carries ``"ed2p_pct"`` — the mean energy-delay-squared delta
+    against the ltp rows of the same workloads, through the
+    policy-aware energy model (:mod:`repro.energy.model`).
     """
     by_workload: Dict[str, List[SimResult]] = {}
     by_policy: Dict[str, List[SimResult]] = {}
@@ -448,6 +452,7 @@ def summarize(results: Iterable[SimResult]) -> Dict[str, Any]:
     summary: Dict[str, Any] = {"points": total, "simulated": simulated,
                                "workloads": workloads}
     if len(by_policy) > 1:
+        baselines = _policy_energy_baselines(by_policy)
         policies: Dict[str, Any] = {}
         for name, rows in sorted(by_policy.items()):
             per_workload: Dict[str, List[SimResult]] = {}
@@ -458,6 +463,48 @@ def summarize(results: Iterable[SimResult]) -> Dict[str, Any]:
             entry["workloads"] = {
                 workload: _aggregate(group)
                 for workload, group in sorted(per_workload.items())}
+            ed2p = _policy_ed2p(name, rows, baselines)
+            if ed2p is not None:
+                entry["ed2p_pct"] = ed2p
             policies[name] = entry
         summary["policies"] = policies
     return summary
+
+
+def _policy_energy_baselines(by_policy: Dict[str, List[SimResult]],
+                             ) -> Dict[str, Any]:
+    """workload -> ltp-policy :class:`EnergyBreakdown` baseline."""
+    from repro.energy.model import compute_energy
+    from repro.policies import DEFAULT_POLICY
+    baselines: Dict[str, Any] = {}
+    for row in by_policy.get(DEFAULT_POLICY, []):
+        workload = row.config.workload
+        if workload not in baselines:
+            baselines[workload] = compute_energy(
+                row.config.core, row.config.ltp, row.stats,
+                policy=DEFAULT_POLICY)
+    return baselines
+
+
+def _policy_ed2p(name: str, rows: List[SimResult],
+                 baselines: Dict[str, Any]) -> Optional[float]:
+    """Mean ED2P delta (percent) of *name* vs the ltp baselines.
+
+    ``None`` when *name* is the baseline itself or no workload of
+    *rows* has a baseline row to compare against.
+    """
+    from repro.energy.model import compute_energy, relative_ed2p
+    from repro.policies import DEFAULT_POLICY
+    if name == DEFAULT_POLICY or not baselines:
+        return None
+    deltas = []
+    for row in rows:
+        base = baselines.get(row.config.workload)
+        if base is None:
+            continue
+        test = compute_energy(row.config.core, row.config.ltp,
+                              row.stats, policy=name)
+        deltas.append(relative_ed2p(test, base))
+    if not deltas:
+        return None
+    return sum(deltas) / len(deltas)

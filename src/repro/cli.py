@@ -8,6 +8,11 @@ Commands:
   :class:`repro.api.SimResult` payload).
 * ``classify WORKLOAD`` — print the oracle classification of each
   static instruction (the Figure 2 view, for any kernel).
+* ``train`` — fit a learned parking model offline (extract oracle-
+  labelled datasets → averaged-perceptron fit → frozen JSON artifact →
+  held-out evaluation; see :mod:`repro.policies.learned`).  ``--out``
+  writes the artifact ``model-park`` loads; ``--check-floor`` turns
+  the held-out accuracy into an exit code for CI.
 * ``experiment NAME`` — regenerate one of the paper's tables/figures
   (``--json`` for the raw result document; ``--list`` enumerates the
   registered experiments).
@@ -80,6 +85,12 @@ from repro.harness.runner import run_sim_result
 from repro.ltp.config import LTP_PRESETS
 from repro.ltp.oracle import annotate_trace
 from repro.policies import DEFAULT_POLICY, policy_names
+from repro.policies.learned import ModelArtifact, ModelArtifactError
+from repro.policies.learned.train import (DEFAULT_EPOCHS,
+                                          DEFAULT_HOLDOUT_WORKLOADS,
+                                          DEFAULT_INSTS, DEFAULT_SEED,
+                                          DEFAULT_TRAIN_WORKLOADS,
+                                          train_model)
 from repro.workloads import full_suite, get_workload
 
 #: legacy alias — the presets live in :data:`repro.ltp.config.LTP_PRESETS`
@@ -110,6 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulation engine: the reference object "
                             "pipeline or the bit-identical columnar "
                             "kernel")
+    run_p.add_argument("--model", type=Path, default=None,
+                       metavar="ARTIFACT",
+                       help="frozen model artifact for learned "
+                            "policies (default: the committed example "
+                            "under examples/models/)")
     run_p.add_argument("--iq", type=int, default=None,
                        help="override IQ size")
     run_p.add_argument("--rf", type=int, default=None,
@@ -124,6 +140,42 @@ def build_parser() -> argparse.ArgumentParser:
                            help="oracle-classify a workload's kernel")
     cls_p.add_argument("workload")
     cls_p.add_argument("--insts", type=int, default=4000)
+
+    train_p = sub.add_parser(
+        "train", help="fit a learned parking model offline and freeze "
+                      "it as a versioned artifact")
+    train_p.add_argument("--workloads", nargs="+", default=None,
+                         metavar="NAME",
+                         help="training workloads (default: "
+                              f"{', '.join(DEFAULT_TRAIN_WORKLOADS)})")
+    train_p.add_argument("--holdout", nargs="+", default=None,
+                         metavar="NAME",
+                         help="held-out evaluation workloads (default: "
+                              f"{', '.join(DEFAULT_HOLDOUT_WORKLOADS)})")
+    train_p.add_argument("--insts", type=int, default=DEFAULT_INSTS,
+                         help="instructions traced per workload "
+                              f"(default {DEFAULT_INSTS})")
+    train_p.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                         help="shuffle seed — same traces + seed give "
+                              "a byte-identical artifact "
+                              f"(default {DEFAULT_SEED})")
+    train_p.add_argument("--epochs", type=int, default=DEFAULT_EPOCHS,
+                         help=f"perceptron epochs "
+                              f"(default {DEFAULT_EPOCHS})")
+    train_p.add_argument("--threshold", type=int, default=0,
+                         help="decision threshold frozen into the "
+                              "artifact (default 0)")
+    train_p.add_argument("--out", type=Path, default=None,
+                         metavar="PATH",
+                         help="write the frozen artifact here "
+                              "(omit for a dry run: train + report "
+                              "only)")
+    train_p.add_argument("--check-floor", type=float, default=None,
+                         metavar="ACC",
+                         help="exit non-zero unless held-out accuracy "
+                              ">= ACC (the CI regression gate)")
+    train_p.add_argument("--json", action="store_true",
+                         help="emit the training report as JSON")
 
     exp_p = sub.add_parser("experiment",
                            help="regenerate a paper table/figure")
@@ -303,9 +355,16 @@ def cmd_run(args, out) -> int:
         core = core.but(iq_size=args.iq)
     if args.rf is not None:
         core = core.but(int_regs=args.rf, fp_regs=args.rf)
+    model = None
+    if args.model is not None:
+        try:
+            model = ModelArtifact.load(args.model).to_payload()
+        except ModelArtifactError as exc:
+            print(str(exc), file=out)
+            return 2
     config = SimConfig(workload=args.workload, core=core,
                        ltp=ltp_preset(args.ltp), policy=args.policy,
-                       engine=args.engine)
+                       model=model, engine=args.engine)
     if args.warmup is not None:
         config.warmup = args.warmup
     if args.measure is not None:
@@ -353,6 +412,57 @@ def cmd_classify(args, out) -> int:
     print(render_table(["pc", "instruction", "class", "executions"],
                        rows, title=f"Classification of {workload.name}"),
           file=out)
+    return 0
+
+
+def cmd_train(args, out) -> int:
+    try:
+        artifact, report = train_model(
+            train_workloads=args.workloads,
+            holdout_workloads=args.holdout, insts=args.insts,
+            seed=args.seed, epochs=args.epochs,
+            threshold=args.threshold)
+    except (ValueError, KeyError) as exc:
+        print(str(exc), file=out)
+        return 2
+    saved = None
+    if args.out is not None:
+        saved = artifact.save(args.out)
+    holdout_accuracy = report["holdout"]["accuracy"]
+    floor_ok = (args.check_floor is None
+                or holdout_accuracy >= args.check_floor)
+    if args.json:
+        print(render_json({
+            "artifact": str(saved) if saved else None,
+            "content_hash": artifact.content_hash,
+            "weights": list(artifact.weights),
+            "bias": artifact.bias,
+            "threshold": artifact.threshold,
+            "provenance": artifact.provenance,
+            "report": report,
+            "floor": args.check_floor,
+            "floor_ok": floor_ok,
+        }), file=out)
+    else:
+        rows = [
+            ["training samples", report["train"]["samples"]],
+            ["training accuracy", report["train"]["accuracy"]],
+            ["held-out samples", report["holdout"]["samples"]],
+            ["held-out accuracy", holdout_accuracy],
+            ["held-out urgent fraction",
+             report["holdout"]["urgent_frac"]],
+        ]
+        for name, entry in report["holdout_workloads"].items():
+            rows.append([f"  accuracy on {name}", entry["accuracy"]])
+        rows.append(["content hash", artifact.content_hash])
+        if saved is not None:
+            rows.append(["artifact", str(saved)])
+        print(render_table(["metric", "value"], rows, precision=3,
+                           title="Learned-policy training"), file=out)
+    if not floor_ok:
+        print(f"held-out accuracy {holdout_accuracy:.3f} is below the "
+              f"floor {args.check_floor:.3f}", file=out)
+        return 1
     return 0
 
 
@@ -846,6 +956,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_run(args, out)
     if args.command == "classify":
         return cmd_classify(args, out)
+    if args.command == "train":
+        return cmd_train(args, out)
     if args.command == "experiment":
         return cmd_experiment(args, out)
     if args.command == "sweep":

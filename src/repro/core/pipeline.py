@@ -129,6 +129,7 @@ class Pipeline:
         elif isinstance(policy, str):
             policy = build_policy(policy, self.ltp_config, dram_latency)
         self.policy = policy
+        policy.attach_memory(self.hierarchy)
         #: the wrapped LTP controller when the policy carries one
         #: (legacy alias; None for non-LTP policies)
         self.controller = getattr(policy, "controller", None)

@@ -15,7 +15,7 @@ import hashlib
 import json
 import os
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional
 
 from repro.core.params import CoreParams
 from repro.ltp.config import LTPConfig
@@ -76,6 +76,13 @@ class SimConfig:
     #: ("ltp") is the historical controller path and is omitted from
     #: payloads, so pre-policy configs keep their cache keys
     policy: str = DEFAULT_POLICY
+    #: frozen model artifact payload for learned policies
+    #: (:mod:`repro.policies.learned`); ``None`` — the default, omitted
+    #: from payloads so model-free configs keep their cache keys —
+    #: means a learned policy falls back to the committed example
+    #: artifact.  The payload's content hash makes different weights
+    #: key differently.
+    model: Optional[Dict[str, Any]] = None
     #: simulation engine ("object" or "kernel"); both produce identical
     #: statistics, so the engine is *not* part of the result identity —
     #: it is omitted from default payloads and pre-engine configs keep
@@ -88,6 +95,12 @@ class SimConfig:
         self.core.validate()
         self.ltp.validate()
         check_policy_name(self.policy)
+        if self.model is not None:
+            # deferred import: the learned package registers policies,
+            # which pulls in this module
+            from repro.policies.learned.artifact import \
+                validate_model_payload
+            validate_model_payload(self.model)
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}: expected one of "
@@ -110,6 +123,8 @@ class SimConfig:
             # key stability: default-policy payloads are byte-identical
             # to pre-policy ones, so stored results keep resolving
             payload["policy"] = self.policy
+        if self.model is not None:
+            payload["model"] = self.model
         if self.engine != DEFAULT_ENGINE:
             payload["engine"] = self.engine
         return payload
@@ -133,6 +148,7 @@ class SimConfig:
         warmup = payload.pop("warmup", DEFAULT_WARMUP)
         measure = payload.pop("measure", DEFAULT_MEASURE)
         policy = payload.pop("policy", DEFAULT_POLICY)
+        model = payload.pop("model", None)
         engine = payload.pop("engine", DEFAULT_ENGINE)
         if payload:
             raise ValueError(
@@ -144,7 +160,7 @@ class SimConfig:
             ltp=(ltp_from_dict(ltp_data) if ltp_data is not None
                  else LTPConfig()),
             warmup=int(warmup), measure=int(measure),
-            policy=str(policy), engine=str(engine))
+            policy=str(policy), model=model, engine=str(engine))
         return config.validate()
 
     def key(self) -> str:

@@ -966,9 +966,42 @@ def policy_compare_sweep(workloads: Optional[Sequence[str]] = None,
                          else policy_names())})
 
 
+#: the ``learned-compare`` contenders: both reference points (perfect
+#: labels, the paper's online tables) against the learned subsystem
+LEARNED_COMPARE_POLICIES = ("oracle-park", "ltp", "model-park",
+                            "confidence-park", "loadpred-park")
+
+
+def learned_compare_sweep(workloads: Optional[Sequence[str]] = None,
+                          warmup: Optional[int] = None,
+                          measure: Optional[int] = None,
+                          policies: Optional[Sequence[str]] = None,
+                          ) -> SweepSpec:
+    """Oracle vs LTP vs the learned policies x the kernel suite.
+
+    The headline question of :mod:`repro.policies.learned`: how close
+    do the trained/adaptive parkers (``model-park``,
+    ``confidence-park``, ``loadpred-park``) get to the oracle's perfect
+    labels, with the paper's online LTP tables as the reference point
+    in between.  Identical cores and budgets; ``summarize()`` breaks
+    the result down per policy with ED2P deltas against ``ltp``.
+    """
+    names = (list(workloads) if workloads is not None
+             else [w.name for w in (mlp_sensitive_suite()
+                                    + mlp_insensitive_suite())])
+    return SweepSpec(
+        workloads=names,
+        core=ltp_params(),
+        ltp=proposed_ltp(),
+        warmup=warmup, measure=measure,
+        axes={"policy": (list(policies) if policies is not None
+                         else list(LEARNED_COMPARE_POLICIES))})
+
+
 #: name -> zero-config SweepSpec factory; ``repro sweep <name>`` and the
 #: CI driver resolve sweeps here when the argument is not a JSON file
 SWEEP_PRESETS: Dict[str, Callable[..., SweepSpec]] = {
+    "learned-compare": learned_compare_sweep,
     "ltp-queues": ltp_queue_sweep,
     "policy-compare": policy_compare_sweep,
 }

@@ -62,13 +62,21 @@ def size_label(size) -> str:
 
 def _render_summary_groups(groups: dict, label: str,
                            title: Optional[str]) -> str:
-    """One aggregate row per group (``store.summarize`` shape)."""
+    """One aggregate row per group (``store.summarize`` shape).
+
+    Policy groups carrying an ``ed2p_pct`` (the mean ED2P delta vs the
+    ltp baseline) get an extra column; rows without one — the baseline
+    itself, or no comparable rows — render '-'.
+    """
+    with_ed2p = any("ed2p_pct" in data for data in groups.values())
     rows = [[name, data["points"], data["mean_cpi"],
              data["geomean_ipc"], data["mean_cycles"]]
+            + ([data.get("ed2p_pct")] if with_ed2p else [])
             for name, data in groups.items()]
-    return render_table(
-        [label, "points", "mean CPI", "geomean IPC", "mean cycles"],
-        rows, precision=3, title=title)
+    headers = [label, "points", "mean CPI", "geomean IPC", "mean cycles"]
+    if with_ed2p:
+        headers.append("ED2P vs ltp %")
+    return render_table(headers, rows, precision=3, title=title)
 
 
 def render_sweep_summary(summary: dict, title: Optional[str] = None) -> str:

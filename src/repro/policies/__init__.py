@@ -18,27 +18,36 @@ Built-in policies:
 ``oracle-park``           perfect (oracle) Non-Urgent classification
 ``random-park``           criticality-blind random parking strawman
 ``depth-park``            dependence-depth parking, wake-when-ready
+``model-park``            frozen offline-trained model inference
+                          (:mod:`repro.policies.learned`)
+``confidence-park``       UIT verdicts gated by per-PC confidence
+``loadpred-park``         memory-hierarchy load-latency prediction
 ========================  ============================================
 """
 
 from repro.policies.base import (DISPATCH, PARK, STALL, AllocationPolicy,
                                  ParkingPolicy)
+from repro.policies.learned import (ConfidenceParkPolicy,
+                                    LoadPredParkPolicy, ModelParkPolicy)
 from repro.policies.ltp import BaselineStallPolicy, LTPPolicy
 from repro.policies.registry import (DEFAULT_POLICY, PolicyInfo,
                                      build_policy, check_policy_name,
                                      policy_descriptions, policy_info,
-                                     policy_names, policy_needs_oracle,
-                                     register_policy)
+                                     policy_names, policy_needs_model,
+                                     policy_needs_oracle, register_policy)
 from repro.policies.scenarios import (DepthParkPolicy, OracleParkPolicy,
                                       RandomParkPolicy)
 
 __all__ = [
     "AllocationPolicy",
     "BaselineStallPolicy",
+    "ConfidenceParkPolicy",
     "DEFAULT_POLICY",
     "DISPATCH",
     "DepthParkPolicy",
     "LTPPolicy",
+    "LoadPredParkPolicy",
+    "ModelParkPolicy",
     "OracleParkPolicy",
     "PARK",
     "ParkingPolicy",
@@ -50,6 +59,7 @@ __all__ = [
     "policy_descriptions",
     "policy_info",
     "policy_names",
+    "policy_needs_model",
     "policy_needs_oracle",
     "register_policy",
 ]

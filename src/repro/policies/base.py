@@ -155,6 +155,15 @@ class AllocationPolicy:
     def on_dram_demand_access(self, now: int) -> None:
         """A demand access missed in the L3."""
 
+    def attach_memory(self, hierarchy) -> None:
+        """The pipeline offers its memory hierarchy before cycle 0.
+
+        Policies that read live cache/MSHR state (``loadpred-park``)
+        keep the reference; the base class ignores it, so most policies
+        stay hierarchy-free.  The reference must be used read-only —
+        the hierarchy's mutation schedule is owned by the pipeline.
+        """
+
     # -- warmup / wrap-up ------------------------------------------------
     def warm_from_trace(self, warmup_slice: Sequence,
                         long_latency_flags: Optional[Sequence]) -> None:

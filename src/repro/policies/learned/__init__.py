@@ -1,0 +1,44 @@
+"""Learned-policy subsystem: offline training, frozen inference.
+
+The package splits the learned-parking story into four layers:
+
+* :mod:`.features` — the versioned feature schema plus deterministic
+  dataset extraction (oracle urgency labels over predecoded traces);
+* :mod:`.train` — the dependency-free averaged-perceptron trainer
+  behind ``repro train``;
+* :mod:`.artifact` — versioned, content-hashed frozen model artifacts
+  that embed into :class:`~repro.harness.config.SimConfig`;
+* :mod:`.policies` — the three registered policies (``model-park``,
+  ``confidence-park``, ``loadpred-park``).
+
+Importing the package registers the policies, which is how
+``repro.policies.registry`` pulls them in.
+"""
+
+from repro.policies.learned.artifact import (ModelArtifact,
+                                             ModelArtifactError,
+                                             default_artifact_path,
+                                             validate_model_payload)
+from repro.policies.learned.features import (FEATURE_NAMES,
+                                             FEATURE_SCHEMA_VERSION,
+                                             extract_dataset)
+from repro.policies.learned.policies import (ConfidenceParkPolicy,
+                                             LoadPredParkPolicy,
+                                             ModelParkPolicy)
+from repro.policies.learned.train import evaluate, fit_perceptron, train_model
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FEATURE_SCHEMA_VERSION",
+    "ConfidenceParkPolicy",
+    "LoadPredParkPolicy",
+    "ModelArtifact",
+    "ModelArtifactError",
+    "ModelParkPolicy",
+    "default_artifact_path",
+    "evaluate",
+    "extract_dataset",
+    "fit_perceptron",
+    "train_model",
+    "validate_model_payload",
+]

@@ -1,0 +1,219 @@
+"""Frozen model artifacts: versioned, content-hashed, JSON on disk.
+
+A frozen artifact is the contract between the offline trainer and the
+inference-only ``model-park`` policy: integer weights over the
+versioned feature schema, a decision threshold, training provenance,
+and a content hash over the canonical payload.  The payload embeds
+into :class:`~repro.harness.config.SimConfig` (the ``model`` field) so
+a swept model is part of the result identity — two sweeps with
+different weights never share cache keys — while configs without a
+model keep their historical keys.
+
+Loading validates everything loudly: wrong format, wrong artifact or
+feature-schema version, malformed weights and hash mismatches all
+raise :class:`ModelArtifactError` with a message naming the problem,
+so a corrupted or stale artifact fails the run instead of silently
+parking the wrong instructions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.policies.learned.features import (FEATURE_NAMES,
+                                             FEATURE_SCHEMA_VERSION)
+
+#: payload discriminator, so arbitrary JSON cannot pose as a model
+ARTIFACT_FORMAT = "repro-learned-policy"
+#: artifact payload version (bump on incompatible payload changes)
+ARTIFACT_VERSION = 1
+
+#: repo-relative home of the committed example artifact that makes
+#: ``model-park`` work out of the box
+DEFAULT_ARTIFACT_RELPATH = Path("examples") / "models" / "model-park-v1.json"
+
+
+class ModelArtifactError(ValueError):
+    """A model artifact payload failed validation."""
+
+
+def canonical_json(payload: Mapping[str, Any]) -> str:
+    """The canonical serialization the content hash covers."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def payload_hash(payload: Mapping[str, Any]) -> str:
+    """Content hash of *payload* minus its own ``content_hash`` field."""
+    body = {k: v for k, v in payload.items() if k != "content_hash"}
+    return hashlib.sha256(canonical_json(body).encode()).hexdigest()[:16]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ModelArtifactError(f"bad model artifact: {message}")
+
+
+class ModelArtifact:
+    """One frozen linear urgency model (weights, threshold, provenance).
+
+    The decision rule is pure integer arithmetic::
+
+        urgent  iff  bias + sum(w[i] * x[i]) >= threshold
+
+    and ``model-park`` parks exactly the instructions the model calls
+    *not* urgent.
+    """
+
+    def __init__(self, weights: Sequence[int], bias: int,
+                 threshold: int = 0,
+                 provenance: Optional[Mapping[str, Any]] = None) -> None:
+        if len(weights) != len(FEATURE_NAMES):
+            raise ModelArtifactError(
+                f"bad model artifact: {len(weights)} weights for "
+                f"{len(FEATURE_NAMES)} features")
+        self.weights: Tuple[int, ...] = tuple(int(w) for w in weights)
+        self.bias = int(bias)
+        self.threshold = int(threshold)
+        self.provenance: Dict[str, Any] = dict(provenance or {})
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def score(self, features: Sequence[int]) -> int:
+        """Integer decision score of one feature vector."""
+        total = self.bias
+        for weight, value in zip(self.weights, features):
+            total += weight * value
+        return total
+
+    def is_urgent(self, features: Sequence[int]) -> bool:
+        """The frozen classification: urgent iff score >= threshold."""
+        return self.score(features) >= self.threshold
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON payload, content hash included."""
+        payload: Dict[str, Any] = {
+            "format": ARTIFACT_FORMAT,
+            "version": ARTIFACT_VERSION,
+            "feature_schema": {
+                "version": FEATURE_SCHEMA_VERSION,
+                "names": list(FEATURE_NAMES),
+            },
+            "weights": list(self.weights),
+            "bias": self.bias,
+            "threshold": self.threshold,
+            "provenance": dict(self.provenance),
+        }
+        payload["content_hash"] = payload_hash(payload)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "ModelArtifact":
+        """Validate and rebuild an artifact from its payload."""
+        _require(isinstance(payload, Mapping),
+                 f"expected a mapping, got {type(payload).__name__}")
+        _require(payload.get("format") == ARTIFACT_FORMAT,
+                 f"format is {payload.get('format')!r}, expected "
+                 f"{ARTIFACT_FORMAT!r}")
+        _require(payload.get("version") == ARTIFACT_VERSION,
+                 f"artifact version {payload.get('version')!r} does not "
+                 f"match this build ({ARTIFACT_VERSION}); re-train with "
+                 f"'repro train'")
+        schema = payload.get("feature_schema")
+        _require(isinstance(schema, Mapping),
+                 "missing feature_schema section")
+        _require(schema.get("version") == FEATURE_SCHEMA_VERSION,
+                 f"feature schema v{schema.get('version')!r} does not "
+                 f"match this build (v{FEATURE_SCHEMA_VERSION}); "
+                 f"re-train with 'repro train'")
+        _require(list(schema.get("names") or []) == list(FEATURE_NAMES),
+                 "feature names do not match this build's schema")
+        weights = payload.get("weights")
+        _require(isinstance(weights, (list, tuple))
+                 and len(weights) == len(FEATURE_NAMES)
+                 and all(isinstance(w, int) and not isinstance(w, bool)
+                         for w in weights),
+                 f"weights must be {len(FEATURE_NAMES)} integers")
+        bias = payload.get("bias")
+        threshold = payload.get("threshold", 0)
+        _require(isinstance(bias, int) and not isinstance(bias, bool),
+                 "bias must be an integer")
+        _require(isinstance(threshold, int)
+                 and not isinstance(threshold, bool),
+                 "threshold must be an integer")
+        recorded = payload.get("content_hash")
+        expected = payload_hash(payload)
+        _require(recorded == expected,
+                 f"content hash mismatch (recorded {recorded!r}, "
+                 f"payload hashes to {expected!r}) — the artifact was "
+                 f"edited or corrupted")
+        return cls(weights=weights, bias=bias, threshold=threshold,
+                   provenance=payload.get("provenance") or {})
+
+    @property
+    def content_hash(self) -> str:
+        return payload_hash(self.to_payload())
+
+    # ------------------------------------------------------------------
+    # files
+    # ------------------------------------------------------------------
+    def save(self, path) -> Path:
+        """Write the artifact byte-stably (sorted keys, one newline)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(self.to_payload(), indent=2, sort_keys=True)
+        path.write_text(text + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "ModelArtifact":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise ModelArtifactError(
+                f"cannot read model artifact {path}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise ModelArtifactError(
+                f"model artifact {path} is not valid JSON: {exc}") \
+                from None
+        return cls.from_payload(payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (f"<ModelArtifact {self.content_hash} "
+                f"threshold={self.threshold}>")
+
+
+def validate_model_payload(payload: Any) -> None:
+    """Raise :class:`ModelArtifactError` unless *payload* is a valid
+    frozen artifact (the :class:`~repro.harness.config.SimConfig`
+    boundary check)."""
+    ModelArtifact.from_payload(payload)
+
+
+def default_artifact_path() -> Path:
+    """The committed example artifact (repo-root relative)."""
+    repo_root = Path(__file__).resolve().parents[4]
+    return repo_root / DEFAULT_ARTIFACT_RELPATH
+
+
+def load_default_payload() -> Dict[str, Any]:
+    """Payload of the committed example artifact.
+
+    ``model-park`` falls back to this when the config carries no
+    embedded model, so the policy works out of the box; a missing file
+    gets the same loud failure as a corrupted one.
+    """
+    path = default_artifact_path()
+    if not path.is_file():
+        raise ModelArtifactError(
+            f"no embedded model and the default artifact is missing "
+            f"({path}); train one with 'repro train --out {path}' or "
+            f"pass --model")
+    return ModelArtifact.load(path).to_payload()

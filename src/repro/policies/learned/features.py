@@ -1,0 +1,183 @@
+"""Feature extraction for the learned parking policies.
+
+One feature schema serves two consumers that must agree:
+
+* **offline** — :func:`extract_dataset` walks a predecoded trace in
+  program order, pairs every dynamic instruction's feature vector with
+  the oracle's urgency label (:func:`repro.ltp.oracle.annotate_trace`),
+  and yields the deterministic dataset the trainer fits;
+* **online** — :class:`FeatureState` is the incremental state machine
+  behind both: the offline walk drives it from trace metadata, and
+  :class:`~repro.policies.learned.policies.ModelParkPolicy` drives it
+  from the pipeline's rename/completion hooks, so the frozen weights
+  see the same feature semantics at inference time.
+
+Every feature is a small non-negative integer, so the dot products the
+frozen model computes are exact on any platform — no floating point in
+the hot path or the trainer.  The schema is versioned
+(:data:`FEATURE_SCHEMA_VERSION` + :data:`FEATURE_NAMES`); frozen
+artifacts embed both and refuse to load against a different schema.
+
+The online hooks see strictly less than the offline walk (load
+outcomes arrive at completion, not in program order), so the per-PC
+long-latency rate and the memory-pressure counter are *online
+analogues* of the offline features rather than bit-equal mirrors —
+close enough for the weights to transfer, and documented here rather
+than promised away.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.isa.trace import DynInst
+from repro.ltp.oracle import OracleInfo
+
+#: bump when the meaning/order of :data:`FEATURE_NAMES` changes; frozen
+#: artifacts carry it and refuse to load against a mismatch
+FEATURE_SCHEMA_VERSION = 1
+
+#: feature order inside every vector (and the weights of an artifact)
+FEATURE_NAMES: Tuple[str, ...] = (
+    "is_load",        # memory read
+    "is_store",       # memory write
+    "is_branch",      # conditional control flow
+    "is_long_op",     # fixed long-latency op class (int/fp divide)
+    "n_srcs",         # register source count (0..3)
+    "src_depth",      # in-flight dependence-chain depth, capped
+    "pc_ll_rate",     # per-PC long-latency load counter (0..PC_LL_MAX)
+    "pc_new",         # first dynamic execution of this PC
+    "mem_pressure",   # decaying recent long-latency traffic (0..PRESSURE_MAX)
+)
+
+#: caps keeping every feature a small saturating integer
+DEPTH_CAP = 8
+PC_LL_MAX = 7
+PRESSURE_MAX = 15
+
+#: op-class values (``OpClass.value``) that are always long latency
+LONG_FIXED_CLASSES = ("int_div", "fp_div")
+
+#: producers further back than this many instructions are treated as
+#: architectural (no longer in flight) by the offline dependence walk
+OFFLINE_WINDOW = 192
+
+
+class FeatureState:
+    """Incremental per-PC / global state behind the feature vector.
+
+    Owns everything except the dependence depth, which each consumer
+    tracks itself (offline: a seq-indexed sliding window; online: the
+    policy's in-flight producer records).
+    """
+
+    __slots__ = ("pc_ll", "pc_seen", "pressure")
+
+    def __init__(self) -> None:
+        #: pc -> saturating long-latency load counter (0..PC_LL_MAX)
+        self.pc_ll: Dict[int, int] = {}
+        #: PCs executed at least once
+        self.pc_seen: Set[int] = set()
+        #: decaying recent long-latency traffic (0..PRESSURE_MAX)
+        self.pressure = 0
+
+    def vector(self, dyn: DynInst, depth: int) -> Tuple[int, ...]:
+        """The feature vector for *dyn* given its dependence *depth*.
+
+        Pure read — call before :meth:`step`/:meth:`note_load_outcome`
+        so the vector never sees the instruction's own outcome.
+        """
+        return (
+            1 if dyn.is_load else 0,
+            1 if dyn.is_store else 0,
+            1 if dyn.is_branch else 0,
+            1 if dyn.op_class.value in LONG_FIXED_CLASSES else 0,
+            dyn.n_srcs,
+            depth if depth < DEPTH_CAP else DEPTH_CAP,
+            self.pc_ll.get(dyn.pc, 0),
+            0 if dyn.pc in self.pc_seen else 1,
+            self.pressure,
+        )
+
+    def step(self, pc: int) -> None:
+        """Advance past one instruction: mark the PC seen, decay."""
+        self.pc_seen.add(pc)
+        if self.pressure:
+            self.pressure -= 1
+
+    def note_load_outcome(self, pc: int, long_latency: bool) -> None:
+        """Train the per-PC rate (and pressure) with a load outcome."""
+        counter = self.pc_ll.get(pc, 0)
+        if long_latency:
+            if counter < PC_LL_MAX:
+                self.pc_ll[pc] = min(PC_LL_MAX, counter + 2)
+            pressure = self.pressure + 4
+            self.pressure = (pressure if pressure < PRESSURE_MAX
+                             else PRESSURE_MAX)
+        elif counter:
+            self.pc_ll[pc] = counter - 1
+
+    def warm(self, warmup_slice: Sequence[DynInst],
+             long_latency_flags: Optional[Sequence] = None) -> None:
+        """Pre-train from a warmup slice (mirrors the offline walk)."""
+        if long_latency_flags is None:
+            for dyn in warmup_slice:
+                self.step(dyn.pc)
+            return
+        for dyn, flag in zip(warmup_slice, long_latency_flags):
+            self.step(dyn.pc)
+            if dyn.is_load:
+                self.note_load_outcome(dyn.pc, bool(flag))
+
+
+def offline_depth(depths: Dict[int, int], dyn: DynInst,
+                  window: int = OFFLINE_WINDOW) -> int:
+    """Dependence-chain depth of *dyn* over a seq-indexed window."""
+    depth = 0
+    seq = dyn.seq
+    for producer in dyn.src_producers:
+        if producer < 0 or seq - producer > window:
+            continue
+        candidate = depths.get(producer, 0) + 1
+        if candidate > depth:
+            depth = candidate
+    depths[seq] = depth
+    return depth
+
+
+def extract_dataset(trace: Sequence[DynInst], oracle: OracleInfo,
+                    window: int = OFFLINE_WINDOW,
+                    ) -> List[Tuple[Tuple[int, ...], int]]:
+    """Deterministic (features, urgent-label) pairs for one trace.
+
+    Walks the trace once in program order; sample *i* pairs the feature
+    vector visible just before instruction *i* executes with the
+    oracle's urgency verdict for it (1 = Urgent, 0 = Non-Urgent — the
+    parking candidates).
+    """
+    state = FeatureState()
+    depths: Dict[int, int] = {}
+    urgent = oracle.urgent
+    long_latency = oracle.long_latency
+    samples: List[Tuple[Tuple[int, ...], int]] = []
+    for i, dyn in enumerate(trace):
+        depth = offline_depth(depths, dyn, window)
+        samples.append((state.vector(dyn, depth), 1 if urgent[i] else 0))
+        state.step(dyn.pc)
+        if dyn.is_load:
+            state.note_load_outcome(dyn.pc, bool(long_latency[i]))
+        if len(depths) > 4 * window:
+            horizon = dyn.seq - window
+            for seq in [s for s in depths if s < horizon]:
+                del depths[seq]
+    return samples
+
+
+def dataset_for_workload(workload, insts: int, mem_params=None,
+                         ) -> List[Tuple[Tuple[int, ...], int]]:
+    """Trace a workload and extract its labelled dataset."""
+    from repro.ltp.oracle import annotate_trace
+    trace = workload.trace(insts)
+    oracle = annotate_trace(trace, mem_params,
+                            warm_regions=workload.warm_regions)
+    return extract_dataset(trace, oracle)

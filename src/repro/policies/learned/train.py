@@ -1,0 +1,160 @@
+"""Dependency-free offline trainer for the learned parking policy.
+
+Fits a tiny **averaged perceptron** over the integer feature vectors of
+:mod:`repro.policies.learned.features` — no numpy, no floating point in
+the update rule, a fixed seed driving the only randomness (sample
+shuffling) — so the same traces and seed produce a byte-identical
+frozen artifact on every platform.  The averaged weights are kept in
+scaled-integer form (``c * w - u``), which preserves the decision
+boundary exactly without ever dividing.
+
+The label is the oracle's urgency verdict: the model learns to
+recognise *Urgent* instructions, and ``model-park`` parks the rest —
+the same split the paper's UIT chases with hardware tables.
+
+:func:`train_model` is the whole flow behind ``repro train``:
+extract → fit → freeze → evaluate against the oracle on held-out
+workloads the fit never saw.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.policies.learned.artifact import ModelArtifact
+from repro.policies.learned.features import (FEATURE_NAMES,
+                                             dataset_for_workload)
+
+Sample = Tuple[Tuple[int, ...], int]
+
+#: defaults behind ``repro train`` (and the committed example artifact)
+DEFAULT_TRAIN_WORKLOADS = ("ptrchase_astar", "lattice_milc",
+                           "stream_triad")
+DEFAULT_HOLDOUT_WORKLOADS = ("sparse_gather", "compute_fp")
+DEFAULT_INSTS = 3000
+DEFAULT_SEED = 2015
+DEFAULT_EPOCHS = 3
+
+
+def fit_perceptron(samples: Sequence[Sample], seed: int = DEFAULT_SEED,
+                   epochs: int = DEFAULT_EPOCHS,
+                   ) -> Tuple[Tuple[int, ...], int]:
+    """Averaged-perceptron fit; returns scaled integer (weights, bias).
+
+    The iteration order is the only randomness: one
+    ``random.Random(seed)`` shuffle per epoch (Mersenne Twister, stable
+    across platforms and Python versions), so identical samples and
+    seed give identical weights.
+    """
+    if not samples:
+        raise ValueError("cannot fit a model on an empty dataset")
+    if epochs <= 0:
+        raise ValueError("epochs must be positive")
+    n = len(FEATURE_NAMES)
+    weights = [0] * n
+    bias = 0
+    # averaging accumulators (c-weighted update sums)
+    acc = [0] * n
+    acc_bias = 0
+    count = 1
+    rng = random.Random(seed)
+    order = list(range(len(samples)))
+    for _ in range(epochs):
+        rng.shuffle(order)
+        for index in order:
+            features, label = samples[index]
+            y = 1 if label else -1
+            score = bias
+            for i in range(n):
+                score += weights[i] * features[i]
+            if y * score <= 0:
+                for i in range(n):
+                    delta = y * features[i]
+                    weights[i] += delta
+                    acc[i] += count * delta
+                bias += y
+                acc_bias += count * y
+            count += 1
+    averaged = tuple(count * weights[i] - acc[i] for i in range(n))
+    return averaged, count * bias - acc_bias
+
+
+def evaluate(artifact: ModelArtifact, samples: Sequence[Sample],
+             ) -> Dict[str, Any]:
+    """Accuracy of the frozen model against oracle labels."""
+    if not samples:
+        return {"samples": 0, "accuracy": 0.0, "urgent_frac": 0.0,
+                "predicted_urgent_frac": 0.0}
+    correct = urgent = predicted = 0
+    for features, label in samples:
+        verdict = artifact.is_urgent(features)
+        urgent += label
+        predicted += verdict
+        if verdict == bool(label):
+            correct += 1
+    total = len(samples)
+    return {
+        "samples": total,
+        "accuracy": correct / total,
+        "urgent_frac": urgent / total,
+        "predicted_urgent_frac": predicted / total,
+    }
+
+
+def train_model(train_workloads: Optional[Sequence[str]] = None,
+                holdout_workloads: Optional[Sequence[str]] = None,
+                insts: int = DEFAULT_INSTS, seed: int = DEFAULT_SEED,
+                epochs: int = DEFAULT_EPOCHS, threshold: int = 0,
+                mem_params=None,
+                ) -> Tuple[ModelArtifact, Dict[str, Any]]:
+    """The full offline flow: extract, fit, freeze, evaluate.
+
+    Training and held-out workloads must not overlap — the reported
+    accuracy is only meaningful on traces the fit never saw.  Returns
+    the frozen artifact plus an evaluation report (per-workload and
+    overall held-out accuracy, training provenance).
+    """
+    from repro.workloads import get_workload
+    train_names = list(train_workloads or DEFAULT_TRAIN_WORKLOADS)
+    holdout_names = list(holdout_workloads or DEFAULT_HOLDOUT_WORKLOADS)
+    overlap = sorted(set(train_names) & set(holdout_names))
+    if overlap:
+        raise ValueError(
+            f"workloads cannot be both trained on and held out: "
+            f"{', '.join(overlap)}")
+    if insts <= 0:
+        raise ValueError("insts must be positive")
+
+    train_samples: List[Sample] = []
+    for name in train_names:
+        train_samples.extend(
+            dataset_for_workload(get_workload(name), insts, mem_params))
+    weights, bias = fit_perceptron(train_samples, seed=seed,
+                                   epochs=epochs)
+    artifact = ModelArtifact(
+        weights=weights, bias=bias, threshold=threshold,
+        provenance={
+            "trainer": "averaged-perceptron",
+            "train_workloads": train_names,
+            "holdout_workloads": holdout_names,
+            "insts": insts,
+            "seed": seed,
+            "epochs": epochs,
+            "samples": len(train_samples),
+        })
+
+    per_workload: Dict[str, Dict[str, Any]] = {}
+    held_samples: List[Sample] = []
+    for name in holdout_names:
+        samples = dataset_for_workload(get_workload(name), insts,
+                                       mem_params)
+        per_workload[name] = evaluate(artifact, samples)
+        held_samples.extend(samples)
+    report = {
+        "train": evaluate(artifact, train_samples),
+        "holdout": evaluate(artifact, held_samples),
+        "holdout_workloads": per_workload,
+        "content_hash": artifact.content_hash,
+    }
+    return artifact, report

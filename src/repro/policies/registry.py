@@ -9,9 +9,10 @@ Policies self-register with the :func:`register_policy` decorator::
 ``SimConfig(policy="random-park")`` then selects the policy end to end
 — session execution, sweep axes (``{"policy": [...]}``), the
 ``repro run --policy`` flag — without any layer hard-coding the list.
-The built-in policies live in :mod:`repro.policies.ltp` and
-:mod:`repro.policies.scenarios`, imported lazily the first time the
-registry is queried so module import order never matters.
+The built-in policies live in :mod:`repro.policies.ltp`,
+:mod:`repro.policies.scenarios` and :mod:`repro.policies.learned`,
+imported lazily the first time the registry is queried so module
+import order never matters.
 
 ``needs_oracle`` metadata tells the session layer whether to compute
 the (expensive) trace oracle annotation before building the policy; it
@@ -52,6 +53,9 @@ class PolicyInfo:
     parks: OracleNeed = False
     #: does the policy consult the UIT classifier CAM?
     uses_uit: OracleNeed = False
+    #: does the policy consume a frozen model artifact (the config's
+    #: ``model`` payload is handed to its factory)?
+    needs_model: OracleNeed = False
 
 
 _REGISTRY: Dict[str, PolicyInfo] = {}
@@ -60,7 +64,8 @@ _REGISTRY: Dict[str, PolicyInfo] = {}
 def register_policy(name: str, description: Optional[str] = None,
                     needs_oracle: OracleNeed = False,
                     parks: OracleNeed = False,
-                    uses_uit: OracleNeed = False) -> Callable:
+                    uses_uit: OracleNeed = False,
+                    needs_model: OracleNeed = False) -> Callable:
     """Class decorator registering an :class:`AllocationPolicy`.
 
     The decorated class must be constructible as
@@ -81,7 +86,8 @@ def register_policy(name: str, description: Optional[str] = None,
         _REGISTRY[name] = PolicyInfo(name=name, factory=cls,
                                      description=doc,
                                      needs_oracle=needs_oracle,
-                                     parks=parks, uses_uit=uses_uit)
+                                     parks=parks, uses_uit=uses_uit,
+                                     needs_model=needs_model)
         return cls
 
     return decorate
@@ -91,6 +97,7 @@ def _ensure_builtins() -> None:
     """Import the built-in policy definitions (registers them)."""
     import repro.policies.ltp  # noqa: F401  (import side effect)
     import repro.policies.scenarios  # noqa: F401
+    import repro.policies.learned  # noqa: F401
 
 
 def policy_info(name: str) -> PolicyInfo:
@@ -147,8 +154,21 @@ def policy_uses_uit(name: str, ltp: LTPConfig) -> bool:
     return _resolve_need(policy_info(name).uses_uit, ltp)
 
 
+def policy_needs_model(name: str, ltp: LTPConfig) -> bool:
+    """Does *name* consume a frozen model artifact under this config?"""
+    return _resolve_need(policy_info(name).needs_model, ltp)
+
+
 def build_policy(name: str, ltp: LTPConfig, dram_latency: int,
-                 oracle=None):
-    """Instantiate the policy registered as *name*."""
+                 oracle=None, model=None):
+    """Instantiate the policy registered as *name*.
+
+    *model* (a frozen artifact payload, or ``None`` for the committed
+    default) is only forwarded to policies registered with
+    ``needs_model`` — everyone else keeps the historical factory
+    signature.
+    """
     info = policy_info(name)
+    if _resolve_need(info.needs_model, ltp):
+        return info.factory(ltp, dram_latency, oracle=oracle, model=model)
     return info.factory(ltp, dram_latency, oracle=oracle)

@@ -24,8 +24,12 @@ from repro.policies import (DEFAULT_POLICY, AllocationPolicy,
                             policy_descriptions, policy_info, policy_names,
                             policy_needs_oracle)
 
-BUILTIN_POLICIES = ("baseline-stall", "depth-park", "ltp", "oracle-park",
+BUILTIN_POLICIES = ("baseline-stall", "confidence-park", "depth-park",
+                    "loadpred-park", "ltp", "model-park", "oracle-park",
                     "random-park")
+
+#: the learned/adaptive trio of repro.policies.learned
+LEARNED_POLICIES = ("model-park", "confidence-park", "loadpred-park")
 
 
 def run_policy(policy_name, workload="lattice_milc", ltp=None,
@@ -102,7 +106,8 @@ def test_baseline_stall_never_parks(tmp_path):
 
 
 def test_parking_policies_park_and_drain(tmp_path):
-    for name in ("ltp", "oracle-park", "random-park", "depth-park"):
+    for name in ("ltp", "oracle-park", "random-park", "depth-park",
+                 "model-park", "confidence-park", "loadpred-park"):
         stats = run_policy(name, tmp_dir=tmp_path / name)
         assert stats["committed"] == 300, name
         # everything parked must eventually be released (the run ends
@@ -222,6 +227,18 @@ def test_policy_compare_preset_registered():
     assert "policy" in spec.axes
     assert set(spec.axes["policy"]) == set(BUILTIN_POLICIES)
     assert len(spec) == 15 * len(BUILTIN_POLICIES)
+
+
+def test_learned_compare_preset_registered():
+    from repro.harness.experiments import (LEARNED_COMPARE_POLICIES,
+                                           sweep_preset)
+    spec = sweep_preset("learned-compare", warmup=200, measure=150)
+    assert spec.axes["policy"] == list(LEARNED_COMPARE_POLICIES)
+    assert set(LEARNED_POLICIES) < set(LEARNED_COMPARE_POLICIES)
+    assert {"oracle-park", "ltp"} < set(LEARNED_COMPARE_POLICIES)
+    assert len(spec) == 15 * len(LEARNED_COMPARE_POLICIES)
+    from repro.harness.experiments import sweep_preset_names
+    assert "learned-compare" in sweep_preset_names()
 
 
 def test_policies_experiment_runs_small(tmp_path):

@@ -21,7 +21,9 @@ nothing for the behaviors that existed before it:
 4. **Kernel-engine bit-identity** — the columnar struct-of-arrays
    engine (:class:`repro.core.kernel.KernelPipeline`) must reproduce
    the reference pipeline's full ``SimStats.as_dict()`` over the same
-   grid, for both the LTP policy and the baseline-stall policy.
+   grid, for the LTP policy, the baseline-stall policy, and the three
+   learned/adaptive policies (model-park via the committed frozen
+   artifact, confidence-park, loadpred-park).
 """
 
 import json
@@ -287,12 +289,19 @@ def _engine_stats(engine_cls, policy_name, name, core, ltp,
     return pipeline.run().as_dict()
 
 
+#: model-park exercises the committed frozen artifact (build_policy's
+#: default-artifact fallback), so this grid also proves the example
+#: model drives both engines identically.
+ENGINE_GRID_POLICIES = ("ltp", "baseline-stall", "model-park",
+                        "confidence-park", "loadpred-park")
+
+
 @pytest.mark.parametrize("workload", GRID_WORKLOADS)
 @pytest.mark.parametrize("label,ltp", GRID_LTP, ids=[g[0] for g in GRID_LTP])
 def test_kernel_engine_bit_identical_to_reference(workload, label, ltp):
     """Every statistic the reference produces, the kernel reproduces."""
     from repro.core.kernel import KernelPipeline
-    for policy_name in ("ltp", "baseline-stall"):
+    for policy_name in ENGINE_GRID_POLICIES:
         ref = _engine_stats(Pipeline, policy_name, workload,
                             ltp_params(), ltp, 500, 400)
         ker = _engine_stats(KernelPipeline, policy_name, workload,
